@@ -1,0 +1,54 @@
+//! Ablation: the stale in-memory-directory broadcast penalty (Table V
+//! mechanism), isolating the directory cache's contribution.
+//!
+//! Compares cross-node vs in-home sharing with the HitME cache enabled
+//! and disabled. The result confirms the paper's §VI-C deduction: with the
+//! AllocateShared policy active, cross-node sharing flips the in-memory
+//! directory to `snoop-all`, so every post-eviction memory access pays a
+//! broadcast; *without* the directory cache the in-memory state would have
+//! been `shared` and memory could answer directly — "instead of shared
+//! which would be used without the directory cache" (paper, §VI-C).
+
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{pointer_chase, Buffer};
+use hswx_haswell::placement::{Level, Placement};
+use hswx_haswell::report::Table;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::NodeId;
+
+fn run(hitme: bool, cross_node: bool) -> (f64, u64) {
+    let mut cfg = SystemConfig::e5_2680_v3(CoherenceMode::ClusterOnDie);
+    cfg.hitme_enabled = hitme;
+    let mut sys = System::new(cfg);
+    let home = NodeId(1);
+    let buf = Buffer::on_node(&sys, home, 32 << 20, 0);
+    let a = sys.topo.cores_of_node(home)[0];
+    let b = if cross_node {
+        sys.topo.cores_of_node(NodeId(0))[0]
+    } else {
+        sys.topo.cores_of_node(home)[1]
+    };
+    let t = Placement::shared(&mut sys, &[a, b], &buf.lines, Level::Memory, SimTime::ZERO);
+    sys.reset_stats();
+    let measurer = sys.topo.cores_of_node(NodeId(0))[0];
+    let m = pointer_chase(&mut sys, measurer, &buf.lines, t, 5);
+    (m.ns_per_access, sys.stats.dir_broadcasts)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "ablate_directory",
+        &["variant", "ns per load", "dir broadcasts"],
+    );
+    for (label, hitme, cross) in [
+        ("shared in-home only, HitME on", true, false),
+        ("shared cross-node,  HitME on", true, true),
+        ("shared in-home only, HitME off", false, false),
+        ("shared cross-node,  HitME off", false, true),
+    ] {
+        let (ns, bcasts) = run(hitme, cross);
+        t.row(label, vec![format!("{ns:.1}"), format!("{bcasts}")]);
+    }
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/ablate_directory.csv");
+}

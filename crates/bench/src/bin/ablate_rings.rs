@@ -1,0 +1,49 @@
+//! Ablation: the asymmetric 8+4 ring split vs per-core COD performance.
+//!
+//! The paper (§VI-C) attributes COD's per-core latency variation to the
+//! asymmetrical chip layout being mapped onto a balanced NUMA topology.
+//! This binary measures every core's local L3 and local memory latency in
+//! COD mode, making the three performance classes directly visible:
+//! node 0 (all cores on ring 0), node 1's cores 6-7 (ring 0, far from
+//! their node's resources), and node 1's cores 8-11 (ring 1).
+
+use hswx_bench::scenarios::LatencyScenario;
+use hswx_haswell::placement::{Level, PlacedState};
+use hswx_haswell::report::Table;
+use hswx_haswell::CoherenceMode::{ClusterOnDie, SourceSnoop};
+use hswx_mem::{CoreId, NodeId};
+
+fn main() {
+    let mut t = Table::new(
+        "ablate_rings",
+        &["core", "node", "cod L3 ns", "cod mem ns", "default L3 ns", "default mem ns"],
+    );
+    for c in 0..12u16 {
+        let core = CoreId(c);
+        let node = if c < 6 { 0u8 } else { 1 };
+        let lat = |mode, level, home: u8| {
+            LatencyScenario {
+                mode,
+                placers: vec![core],
+                state: PlacedState::Exclusive,
+                level,
+                home: NodeId(home),
+                measurer: core,
+                size: None,
+            }
+            .run()
+        };
+        t.row(
+            format!("core{c}"),
+            vec![
+                format!("node{node}"),
+                format!("{:.1}", lat(ClusterOnDie, Level::L3, node)),
+                format!("{:.1}", lat(ClusterOnDie, Level::Memory, node)),
+                format!("{:.1}", lat(SourceSnoop, Level::L3, 0)),
+                format!("{:.1}", lat(SourceSnoop, Level::Memory, 0)),
+            ],
+        );
+    }
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/ablate_rings.csv");
+}

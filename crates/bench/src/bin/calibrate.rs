@@ -1,0 +1,35 @@
+//! Calibration report: every paper anchor vs the simulator.
+//!
+//! ```text
+//! cargo run -p hswx-bench --release --bin calibrate [--latency|--bandwidth]
+//! ```
+
+use hswx_bench::{bandwidth_anchors, latency_anchors, Anchor};
+
+fn print(section: &str, anchors: &[Anchor]) {
+    println!("== {section} ==");
+    println!("{:<38} {:>9} {:>9} {:>8}", "scenario", "paper", "sim", "err%");
+    let mut worst: f64 = 0.0;
+    for a in anchors {
+        println!(
+            "{:<38} {:>9.1} {:>9.1} {:>7.1}%",
+            a.name,
+            a.paper,
+            a.sim,
+            a.rel_err() * 100.0
+        );
+        worst = worst.max(a.rel_err().abs());
+    }
+    println!("worst |err| = {:.1}%\n", worst * 100.0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("--all");
+    if which == "--latency" || which == "--all" {
+        print("latency anchors (ns)", &latency_anchors());
+    }
+    if which == "--bandwidth" || which == "--all" {
+        print("bandwidth anchors (GB/s)", &bandwidth_anchors());
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerate paper Figure 5: source snoop vs home snoop read latency for
+//! exclusive-state data (local hierarchy, remote cache, and memory).
+
+use hswx_bench::scenarios::latency_curve;
+use hswx_haswell::placement::PlacedState::Exclusive;
+use hswx_haswell::report::{sweep_sizes, Figure, Series};
+use hswx_haswell::CoherenceMode::{HomeSnoop, SourceSnoop};
+use hswx_mem::{CoreId, NodeId};
+
+fn main() {
+    let sizes = sweep_sizes();
+    let c0 = CoreId(0);
+    let c12 = CoreId(12);
+    let mut fig = Figure::new("fig5", "ns per load");
+    let mut add = |label: &str, pts: Vec<(f64, f64)>| {
+        let mut s = Series::new(label);
+        for (x, y) in pts {
+            s.push(x, y);
+        }
+        fig.add(s);
+    };
+
+    add("source local", latency_curve(SourceSnoop, &[c0], Exclusive, NodeId(0), c0, &sizes));
+    add("home   local", latency_curve(HomeSnoop, &[c0], Exclusive, NodeId(0), c0, &sizes));
+    add("source remote", latency_curve(SourceSnoop, &[c12], Exclusive, NodeId(1), c0, &sizes));
+    add("home   remote", latency_curve(HomeSnoop, &[c12], Exclusive, NodeId(1), c0, &sizes));
+
+    print!("{}", fig.to_text());
+    fig.write_csv("results").expect("write results/fig5.csv");
+}

@@ -1,0 +1,42 @@
+//! Regenerate paper Figure 6: read latency in Cluster-on-Die mode — local,
+//! within the NUMA node, the other on-chip node (1 hop), and the remote
+//! socket's nodes at 1/2/3 hops, for Modified and Exclusive lines.
+
+use hswx_bench::scenarios::{first_core_of, latency_curve, nth_core_of};
+use hswx_haswell::placement::PlacedState::{Exclusive, Modified};
+use hswx_haswell::report::{sweep_sizes, Figure, Series};
+use hswx_haswell::CoherenceMode::ClusterOnDie;
+use hswx_mem::NodeId;
+
+fn main() {
+    let sizes = sweep_sizes();
+    let n0 = first_core_of(ClusterOnDie, 0);
+    let n0b = nth_core_of(ClusterOnDie, 0, 1);
+    let n1 = first_core_of(ClusterOnDie, 1);
+    let n2 = first_core_of(ClusterOnDie, 2);
+    let n3 = first_core_of(ClusterOnDie, 3);
+
+    let mut fig = Figure::new("fig6", "ns per load");
+    let mut add = |label: &str, pts: Vec<(f64, f64)>| {
+        let mut s = Series::new(label);
+        for (x, y) in pts {
+            s.push(x, y);
+        }
+        fig.add(s);
+    };
+
+    add("local M", latency_curve(ClusterOnDie, &[n0], Modified, NodeId(0), n0, &sizes));
+    add("node M", latency_curve(ClusterOnDie, &[n0b], Modified, NodeId(0), n0, &sizes));
+    add("node E", latency_curve(ClusterOnDie, &[n0b], Exclusive, NodeId(0), n0, &sizes));
+    add("1hop-chip M", latency_curve(ClusterOnDie, &[n1], Modified, NodeId(1), n0, &sizes));
+    add("1hop-chip E", latency_curve(ClusterOnDie, &[n1], Exclusive, NodeId(1), n0, &sizes));
+    add("1hop-QPI M", latency_curve(ClusterOnDie, &[n2], Modified, NodeId(2), n0, &sizes));
+    add("1hop-QPI E", latency_curve(ClusterOnDie, &[n2], Exclusive, NodeId(2), n0, &sizes));
+    add("2hops M", latency_curve(ClusterOnDie, &[n3], Modified, NodeId(3), n0, &sizes));
+    add("2hops E", latency_curve(ClusterOnDie, &[n3], Exclusive, NodeId(3), n0, &sizes));
+    add("3hops M", latency_curve(ClusterOnDie, &[n3], Modified, NodeId(3), n1, &sizes));
+    add("3hops E", latency_curve(ClusterOnDie, &[n3], Exclusive, NodeId(3), n1, &sizes));
+
+    print!("{}", fig.to_text());
+    fig.write_csv("results").expect("write results/fig6.csv");
+}

@@ -1,0 +1,61 @@
+//! Regenerate paper Figure 7: COD-mode reads from node 0 to data shared by
+//! two cores, with the forward copy (F) and home node (H) varied. Small
+//! data sets are served from the home node's *memory* thanks to HitME
+//! directory-cache hits (AllocateShared); as the footprint outgrows the
+//! 14 KiB directory cache, an increasing share is forwarded by the remote
+//! L3 after a snoop broadcast. The second block prints the fraction of
+//! loads answered by DRAM — the analogue of the paper's
+//! `MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM` diagnostic (footnote 6).
+
+use hswx_bench::scenarios::{first_core_of, LatencyScenario};
+use hswx_haswell::placement::{Level, PlacedState};
+use hswx_haswell::report::{Figure, Series};
+use hswx_haswell::CoherenceMode::ClusterOnDie;
+use hswx_mem::NodeId;
+
+fn main() {
+    let sizes: Vec<u64> = [
+        32, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 2560, 4096, 8192,
+    ]
+    .iter()
+    .map(|k| k * 1024)
+    .collect();
+
+    let combos: [(u8, u8); 4] = [(1, 1), (1, 2), (2, 1), (2, 2)];
+    let measurer = first_core_of(ClusterOnDie, 0);
+
+    let mut fig = Figure::new("fig7", "ns per load");
+    let mut dram = Figure::new("fig7_dram_fraction", "fraction of loads from DRAM");
+    for (f, h) in combos {
+        let mut lat = Series::new(format!("F:{f} H:{h}"));
+        let mut frac = Series::new(format!("F:{f} H:{h}"));
+        for &size in &sizes {
+            let home_core = first_core_of(ClusterOnDie, h);
+            let fwd_core = first_core_of(ClusterOnDie, f);
+            let placers = if f == h {
+                vec![home_core, hswx_bench::scenarios::nth_core_of(ClusterOnDie, h, 1)]
+            } else {
+                vec![home_core, fwd_core]
+            };
+            let (ns, mem_frac) = LatencyScenario {
+                mode: ClusterOnDie,
+                placers,
+                state: PlacedState::Shared,
+                level: Level::L3,
+                home: NodeId(h),
+                measurer,
+                size: Some(size),
+            }
+            .run_detailed();
+            lat.push(size as f64, ns);
+            frac.push(size as f64, mem_frac);
+        }
+        fig.add(lat);
+        dram.add(frac);
+    }
+
+    print!("{}", fig.to_text());
+    print!("{}", dram.to_text());
+    fig.write_csv("results").expect("write results/fig7.csv");
+    dram.write_csv("results").expect("write results/fig7_dram_fraction.csv");
+}

@@ -1,0 +1,36 @@
+//! Regenerate paper Figure 8: single-threaded memory read bandwidth vs
+//! data-set size in the default configuration — AVX vs SSE loads on the
+//! local hierarchy, plus core-to-core and cross-socket transfers for
+//! Modified and Exclusive lines.
+
+use hswx_bench::scenarios::bandwidth_curve;
+use hswx_haswell::microbench::LoadWidth::{Avx256, Sse128};
+use hswx_haswell::placement::PlacedState::{Exclusive, Modified};
+use hswx_haswell::report::{sweep_sizes, Figure, Series};
+use hswx_haswell::CoherenceMode::SourceSnoop;
+use hswx_mem::{CoreId, NodeId};
+
+fn main() {
+    let sizes = sweep_sizes();
+    let c0 = CoreId(0);
+    let c1 = CoreId(1);
+    let c12 = CoreId(12);
+    let mut fig = Figure::new("fig8", "GB/s");
+    let mut add = |label: &str, pts: Vec<(f64, f64)>| {
+        let mut s = Series::new(label);
+        for (x, y) in pts {
+            s.push(x, y);
+        }
+        fig.add(s);
+    };
+
+    add("local AVX", bandwidth_curve(SourceSnoop, &[c0], Modified, NodeId(0), c0, Avx256, &sizes));
+    add("local SSE", bandwidth_curve(SourceSnoop, &[c0], Modified, NodeId(0), c0, Sse128, &sizes));
+    add("node M", bandwidth_curve(SourceSnoop, &[c1], Modified, NodeId(0), c0, Avx256, &sizes));
+    add("node E", bandwidth_curve(SourceSnoop, &[c1], Exclusive, NodeId(0), c0, Avx256, &sizes));
+    add("remote M", bandwidth_curve(SourceSnoop, &[c12], Modified, NodeId(1), c0, Avx256, &sizes));
+    add("remote E", bandwidth_curve(SourceSnoop, &[c12], Exclusive, NodeId(1), c0, Avx256, &sizes));
+
+    print!("{}", fig.to_text());
+    fig.write_csv("results").expect("write results/fig8.csv");
+}

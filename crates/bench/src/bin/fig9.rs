@@ -1,0 +1,46 @@
+//! Regenerate paper Figure 9: single-threaded read bandwidth for *shared*
+//! cache lines. When the Forward copy lives in the reading core's node,
+//! private-cache hits run at full speed; when it lives in the other socket,
+//! every L1/L2 hit is throttled to L3 bandwidth by the forward-state
+//! reclaim notification the paper deduces in §VI-C/§VII-A.
+
+use hswx_bench::scenarios::bandwidth_curve;
+use hswx_haswell::microbench::LoadWidth::Avx256;
+use hswx_haswell::placement::PlacedState::Shared;
+use hswx_haswell::report::{sweep_sizes, Figure, Series};
+use hswx_haswell::CoherenceMode::SourceSnoop;
+use hswx_mem::{CoreId, NodeId};
+
+fn main() {
+    let sizes = sweep_sizes();
+    let c0 = CoreId(0);
+    let c12 = CoreId(12);
+    let c13 = CoreId(13);
+    let mut fig = Figure::new("fig9", "GB/s");
+    let mut add = |label: &str, pts: Vec<(f64, f64)>| {
+        let mut s = Series::new(label);
+        for (x, y) in pts {
+            s.push(x, y);
+        }
+        fig.add(s);
+    };
+
+    // Measurer participates in the sharing; access order decides who ends
+    // up with the Forward copy (the last reader).
+    add(
+        "shared, F local",
+        bandwidth_curve(SourceSnoop, &[c12, c0], Shared, NodeId(0), c0, Avx256, &sizes),
+    );
+    add(
+        "shared, F remote",
+        bandwidth_curve(SourceSnoop, &[c0, c12], Shared, NodeId(0), c0, Avx256, &sizes),
+    );
+    // Shared data homed and forwarded entirely in the remote socket.
+    add(
+        "shared, remote L3",
+        bandwidth_curve(SourceSnoop, &[c12, c13], Shared, NodeId(1), c0, Avx256, &sizes),
+    );
+
+    print!("{}", fig.to_text());
+    fig.write_csv("results").expect("write results/fig9.csv");
+}

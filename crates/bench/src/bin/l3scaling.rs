@@ -1,0 +1,75 @@
+//! Regenerate the §VII-B aggregate L3 scaling result: read bandwidth grows
+//! almost linearly from 26.2 GB/s (1 core) to ~278 GB/s (12 cores); write
+//! bandwidth from ~15 to ~161 GB/s. Also prints the per-node COD numbers
+//! (~154 GB/s read per node).
+
+use hswx_bench::scenarios::nth_core_of;
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{stream_read_multi, stream_write_multi, Buffer, LoadWidth};
+use hswx_haswell::placement::{Level, Placement};
+use hswx_haswell::report::Table;
+use hswx_haswell::CoherenceMode::{ClusterOnDie, SourceSnoop};
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr};
+
+fn l3_aggregate(mode: CoherenceMode, cores: &[CoreId], write: bool) -> f64 {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let bufs: Vec<Buffer> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let node = sys.topo.node_of_core(c);
+            Buffer::on_node(&sys, node, 1 << 20, i as u64)
+        })
+        .collect();
+    let mut t = SimTime::ZERO;
+    for (i, b) in bufs.iter().enumerate() {
+        t = Placement::modified(&mut sys, cores[i], &b.lines, Level::L3, t);
+    }
+    let streams: Vec<(CoreId, &[LineAddr])> = cores
+        .iter()
+        .zip(&bufs)
+        .map(|(&c, b)| (c, b.lines.as_slice()))
+        .collect();
+    if write {
+        stream_write_multi(&mut sys, &streams, LoadWidth::Avx256, t).gb_s
+    } else {
+        stream_read_multi(&mut sys, &streams, LoadWidth::Avx256, t).gb_s
+    }
+}
+
+fn main() {
+    let counts = [1usize, 2, 4, 6, 8, 10, 12];
+    let mut t = Table::new("l3scaling", &["case", "1", "2", "4", "6", "8", "10", "12"]);
+
+    let reads: Vec<f64> = counts
+        .iter()
+        .map(|&n| {
+            let cores: Vec<CoreId> = (0..n as u16).map(CoreId).collect();
+            l3_aggregate(SourceSnoop, &cores, false)
+        })
+        .collect();
+    t.row_f("L3 read, source snoop", &reads);
+
+    let writes: Vec<f64> = counts
+        .iter()
+        .map(|&n| {
+            let cores: Vec<CoreId> = (0..n as u16).map(CoreId).collect();
+            l3_aggregate(SourceSnoop, &cores, true)
+        })
+        .collect();
+    t.row_f("L3 write, source snoop", &writes);
+
+    // COD: one node's six cores (paper: 154 GB/s read / 94 GB/s write).
+    let node0: Vec<CoreId> = (0..6).map(|i| nth_core_of(ClusterOnDie, 0, i)).collect();
+    let cod_read = l3_aggregate(ClusterOnDie, &node0, false);
+    let cod_write = l3_aggregate(ClusterOnDie, &node0, true);
+    t.row(
+        "COD per-node (6 cores)",
+        vec![format!("read {cod_read:.0}"), format!("write {cod_write:.0}"),
+             "-".into(), "-".into(), "-".into(), "-".into(), "-".into()],
+    );
+
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/l3scaling.csv");
+}

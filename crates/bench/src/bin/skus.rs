@@ -1,0 +1,56 @@
+//! Beyond-paper experiment: the three Haswell-EP die variants.
+//!
+//! The paper's §III-B describes three physical dies (8, 12, 18 cores) but
+//! only measures the 12-core part. This binary runs the key local/remote
+//! latency probes on all three, showing how the single-ring 8-core die
+//! avoids queue-crossing penalties entirely and how the 18-core die's
+//! longer rings stretch every on-chip distance.
+
+use hswx_bench::scenarios::size_for_level;
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{pointer_chase, Buffer};
+use hswx_haswell::placement::{Level, Placement};
+use hswx_haswell::report::Table;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::NodeId;
+
+fn probe(cfg: SystemConfig, level: Level, remote: bool) -> f64 {
+    let mut sys = System::new(cfg);
+    let (home, placer, measurer) = if remote {
+        let home = NodeId(sys.topo.n_nodes() / 2); // first node of socket 1
+        (home, sys.topo.cores_of_node(home)[0], sys.topo.cores_of_node(NodeId(0))[0])
+    } else {
+        let c = sys.topo.cores_of_node(NodeId(0))[0];
+        (NodeId(0), c, c)
+    };
+    let buf = Buffer::on_node(&sys, home, size_for_level(level), 0);
+    let t = Placement::exclusive(&mut sys, placer, &buf.lines, level, SimTime::ZERO);
+    pointer_chase(&mut sys, measurer, &buf.lines, t, 17).ns_per_access
+}
+
+fn main() {
+    let mut t = Table::new(
+        "skus",
+        &["die / mode", "local L3", "local mem", "remote L3", "remote mem"],
+    );
+    for (label, cfg) in [
+        ("8-core, source snoop", SystemConfig::e5_8core(CoherenceMode::SourceSnoop)),
+        ("8-core, COD", SystemConfig::e5_8core(CoherenceMode::ClusterOnDie)),
+        ("12-core, source snoop", SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop)),
+        ("12-core, COD", SystemConfig::e5_2680_v3(CoherenceMode::ClusterOnDie)),
+        ("18-core, source snoop", SystemConfig::e5_18core(CoherenceMode::SourceSnoop)),
+        ("18-core, COD", SystemConfig::e5_18core(CoherenceMode::ClusterOnDie)),
+    ] {
+        t.row_f(
+            label,
+            &[
+                probe(cfg.clone(), Level::L3, false),
+                probe(cfg.clone(), Level::Memory, false),
+                probe(cfg.clone(), Level::L3, true),
+                probe(cfg, Level::Memory, true),
+            ],
+        );
+    }
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/skus.csv");
+}

@@ -1,0 +1,59 @@
+//! Beyond-paper experiment: snoop-mode scaling with socket count.
+//!
+//! The paper motivates directory support with "broadcasts quickly become
+//! expensive for an increasing number of nodes" (§IV-A) and predicts that
+//! single-chip NUMA + directories "will probably become standard". This
+//! experiment runs the same local-memory probe on 2- and 4-socket systems
+//! and counts coherence traffic: under source snooping every L3 miss
+//! broadcasts to all peer caching agents, so snoops per read and the
+//! latency floor grow with the socket count, while the COD directory keeps
+//! both flat — the quantitative version of the paper's argument.
+
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{pointer_chase, Buffer};
+use hswx_haswell::placement::{Level, Placement};
+use hswx_haswell::report::Table;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::NodeId;
+
+fn probe(sockets: u8, mode: CoherenceMode) -> (f64, f64, f64) {
+    let mut cfg = SystemConfig::e5_2680_v3(mode);
+    cfg.sockets = sockets;
+    let mut sys = System::new(cfg);
+    let c0 = sys.topo.cores_of_node(NodeId(0))[0];
+    // Local memory latency.
+    let buf = Buffer::on_node(&sys, NodeId(0), 32 << 20, 0);
+    let t = Placement::exclusive(&mut sys, c0, &buf.lines, Level::Memory, SimTime::ZERO);
+    sys.reset_stats();
+    let m = pointer_chase(&mut sys, c0, &buf.lines, t, 9);
+    let snoops_per_read = sys.stats.snoops_sent as f64 / m.samples as f64;
+    // Remote memory latency (to the last socket's first node).
+    let far = NodeId(sys.topo.n_nodes() - if mode.cod() { 2 } else { 1 });
+    let far_core = sys.topo.cores_of_node(far)[0];
+    let buf2 = Buffer::on_node(&sys, far, 32 << 20, 1);
+    let t = Placement::exclusive(&mut sys, far_core, &buf2.lines, Level::Memory, m.finished);
+    let m2 = pointer_chase(&mut sys, c0, &buf2.lines, t, 9);
+    (m.ns_per_access, m2.ns_per_access, snoops_per_read)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "sockets",
+        &["system", "local mem ns", "remote mem ns", "snoops/read"],
+    );
+    for sockets in [2u8, 4] {
+        for mode in CoherenceMode::all() {
+            let (local, remote, snoops) = probe(sockets, mode);
+            t.row(
+                format!("{sockets}S {}", mode.label()),
+                vec![
+                    format!("{local:.1}"),
+                    format!("{remote:.1}"),
+                    format!("{snoops:.2}"),
+                ],
+            );
+        }
+    }
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/sockets.csv");
+}

@@ -1,0 +1,13 @@
+//! Regenerate paper Table I: Sandy Bridge vs Haswell micro-architecture.
+
+use hswx_haswell::report::Table;
+use hswx_haswell::spec::table1_uarch_comparison;
+
+fn main() {
+    let mut t = Table::new("table1", &["feature", "Sandy Bridge", "Haswell"]);
+    for row in table1_uarch_comparison() {
+        t.row(row.feature, vec![row.sandy_bridge.to_string(), row.haswell.to_string()]);
+    }
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/table1.csv");
+}

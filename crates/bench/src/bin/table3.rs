@@ -1,0 +1,110 @@
+//! Regenerate paper Table III: L3 and memory read latency across the three
+//! coherence configurations, including the COD per-core variation between
+//! the first node, and the second node's cores on the first vs second ring.
+
+use hswx_bench::scenarios::LatencyScenario;
+use hswx_haswell::placement::{Level, PlacedState};
+use hswx_haswell::report::Table;
+use hswx_haswell::CoherenceMode::{self, ClusterOnDie, HomeSnoop, SourceSnoop};
+use hswx_mem::{CoreId, NodeId};
+
+/// One measurement: state-E data at `level`, homed/placed per `remote`.
+fn cell(mode: CoherenceMode, level: Level, measurer: CoreId, home: u8, placer: CoreId) -> f64 {
+    LatencyScenario {
+        mode,
+        placers: vec![placer],
+        state: PlacedState::Exclusive,
+        level,
+        home: NodeId(home),
+        measurer,
+        size: None,
+    }
+    .run()
+}
+
+fn main() {
+    let mut t = Table::new(
+        "table3",
+        &[
+            "case",
+            "default",
+            "early-snoop-off",
+            "cod node0",
+            "cod n1 ring0 (c6)",
+            "cod n1 ring1 (c8)",
+        ],
+    );
+
+    // Measuring cores per column (paper: first node; second node cores on
+    // the first ring = 6,7; on the second ring = 8-11).
+    let cod_cols = [CoreId(0), CoreId(6), CoreId(8)];
+
+    // Local L3: data placed by a *different* core of the same node would
+    // need a snoop; Table III's "local" rows are the no-snoop L3 latency
+    // (placer = measurer).
+    let mut l3_local = vec![
+        cell(SourceSnoop, Level::L3, CoreId(0), 0, CoreId(0)),
+        cell(HomeSnoop, Level::L3, CoreId(0), 0, CoreId(0)),
+    ];
+    for &c in &cod_cols {
+        let node = if c.0 < 6 { 0 } else { 1 };
+        l3_local.push(cell(ClusterOnDie, Level::L3, c, node, c));
+    }
+    t.row_f("L3 local", &l3_local);
+
+    // Remote L3 (first node of the other socket), state E with stale CV.
+    let mut l3_r1 = vec![
+        cell(SourceSnoop, Level::L3, CoreId(0), 1, CoreId(12)),
+        cell(HomeSnoop, Level::L3, CoreId(0), 1, CoreId(12)),
+    ];
+    for &c in &cod_cols {
+        l3_r1.push(cell(ClusterOnDie, Level::L3, c, 2, CoreId(12)));
+    }
+    t.row_f("L3 remote 1st node", &l3_r1);
+
+    let mut l3_r2 = vec![f64::NAN, f64::NAN];
+    for &c in &cod_cols {
+        l3_r2.push(cell(ClusterOnDie, Level::L3, c, 3, CoreId(18)));
+    }
+    t.row(
+        "L3 remote 2nd node",
+        l3_r2
+            .iter()
+            .map(|v| if v.is_nan() { "-".into() } else { format!("{v:.1}") })
+            .collect(),
+    );
+
+    // Memory rows.
+    let mut m_local = vec![
+        cell(SourceSnoop, Level::Memory, CoreId(0), 0, CoreId(0)),
+        cell(HomeSnoop, Level::Memory, CoreId(0), 0, CoreId(0)),
+    ];
+    for &c in &cod_cols {
+        let node = if c.0 < 6 { 0 } else { 1 };
+        m_local.push(cell(ClusterOnDie, Level::Memory, c, node, c));
+    }
+    t.row_f("memory local", &m_local);
+
+    let mut m_r1 = vec![
+        cell(SourceSnoop, Level::Memory, CoreId(0), 1, CoreId(12)),
+        cell(HomeSnoop, Level::Memory, CoreId(0), 1, CoreId(12)),
+    ];
+    for &c in &cod_cols {
+        m_r1.push(cell(ClusterOnDie, Level::Memory, c, 2, CoreId(12)));
+    }
+    t.row_f("memory remote 1st node", &m_r1);
+
+    let mut m_r2 = vec![f64::NAN, f64::NAN];
+    for &c in &cod_cols {
+        m_r2.push(cell(ClusterOnDie, Level::Memory, c, 3, CoreId(18)));
+    }
+    t.row(
+        "memory remote 2nd node",
+        m_r2.iter()
+            .map(|v| if v.is_nan() { "-".into() } else { format!("{v:.1}") })
+            .collect(),
+    );
+
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/table3.csv");
+}

@@ -1,0 +1,39 @@
+//! Regenerate paper Table IV: COD-mode L3 latency from a core in node 0 to
+//! cache lines with multiple shared copies — forward-copy node (rows) vs
+//! home node (columns), for data sets above the HitME coverage (>2.5 MiB).
+
+use hswx_bench::scenarios::{first_core_of, nth_core_of, LatencyScenario};
+use hswx_haswell::placement::{Level, PlacedState};
+use hswx_haswell::report::Table;
+use hswx_haswell::CoherenceMode::ClusterOnDie;
+use hswx_mem::NodeId;
+
+fn main() {
+    let measurer = first_core_of(ClusterOnDie, 0);
+    let mut t = Table::new("table4", &["F \\ H", "node0", "node1", "node2", "node3"]);
+    for f in 0..4u8 {
+        let mut row = Vec::new();
+        for h in 0..4u8 {
+            let home_core = first_core_of(ClusterOnDie, h);
+            let fwd_core = if f == h {
+                nth_core_of(ClusterOnDie, h, 1)
+            } else {
+                first_core_of(ClusterOnDie, f)
+            };
+            let ns = LatencyScenario {
+                mode: ClusterOnDie,
+                placers: vec![home_core, fwd_core],
+                state: PlacedState::Shared,
+                level: Level::L3,
+                home: NodeId(h),
+                measurer,
+                size: Some(4 * 1024 * 1024),
+            }
+            .run();
+            row.push(ns);
+        }
+        t.row_f(format!("node{f}"), &row);
+    }
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/table4.csv");
+}

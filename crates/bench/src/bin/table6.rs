@@ -1,0 +1,86 @@
+//! Regenerate paper Table VI: single-threaded read bandwidth (GB/s) for L3
+//! and memory across the three coherence configurations (L3 rows use
+//! exclusive-state data, as in the paper).
+
+use hswx_bench::scenarios::BandwidthScenario;
+use hswx_haswell::microbench::LoadWidth::Avx256;
+use hswx_haswell::placement::{Level, PlacedState};
+use hswx_haswell::report::Table;
+use hswx_haswell::CoherenceMode::{self, ClusterOnDie, HomeSnoop, SourceSnoop};
+use hswx_mem::{CoreId, NodeId};
+
+fn cell(mode: CoherenceMode, level: Level, measurer: CoreId, home: u8, placer: CoreId) -> f64 {
+    BandwidthScenario {
+        mode,
+        placers: vec![placer],
+        state: PlacedState::Exclusive,
+        level,
+        home: NodeId(home),
+        measurer,
+        width: Avx256,
+        size: None,
+    }
+    .run()
+}
+
+fn main() {
+    let mut t = Table::new(
+        "table6",
+        &[
+            "case",
+            "default",
+            "early-snoop-off",
+            "cod node0",
+            "cod n1 ring0 (c6)",
+            "cod n1 ring1 (c8)",
+        ],
+    );
+    let cod_cols = [CoreId(0), CoreId(6), CoreId(8)];
+
+    let mut l3_local = vec![
+        cell(SourceSnoop, Level::L3, CoreId(0), 0, CoreId(0)),
+        cell(HomeSnoop, Level::L3, CoreId(0), 0, CoreId(0)),
+    ];
+    for &c in &cod_cols {
+        let node = if c.0 < 6 { 0 } else { 1 };
+        l3_local.push(cell(ClusterOnDie, Level::L3, c, node, c));
+    }
+    t.row_f("L3 local", &l3_local);
+
+    let mut l3_r1 = vec![
+        cell(SourceSnoop, Level::L3, CoreId(0), 1, CoreId(12)),
+        cell(HomeSnoop, Level::L3, CoreId(0), 1, CoreId(12)),
+    ];
+    for &c in &cod_cols {
+        l3_r1.push(cell(ClusterOnDie, Level::L3, c, 2, CoreId(12)));
+    }
+    t.row_f("L3 remote 1st node", &l3_r1);
+
+    let mut m_local = vec![
+        cell(SourceSnoop, Level::Memory, CoreId(0), 0, CoreId(0)),
+        cell(HomeSnoop, Level::Memory, CoreId(0), 0, CoreId(0)),
+    ];
+    for &c in &cod_cols {
+        let node = if c.0 < 6 { 0 } else { 1 };
+        m_local.push(cell(ClusterOnDie, Level::Memory, c, node, c));
+    }
+    t.row_f("memory local", &m_local);
+
+    let mut m_r1 = vec![
+        cell(SourceSnoop, Level::Memory, CoreId(0), 1, CoreId(12)),
+        cell(HomeSnoop, Level::Memory, CoreId(0), 1, CoreId(12)),
+    ];
+    for &c in &cod_cols {
+        m_r1.push(cell(ClusterOnDie, Level::Memory, c, 2, CoreId(12)));
+    }
+    t.row_f("memory remote 1st node", &m_r1);
+
+    let mut m_r2: Vec<String> = vec!["-".into(), "-".into()];
+    for &c in &cod_cols {
+        m_r2.push(format!("{:.1}", cell(ClusterOnDie, Level::Memory, c, 3, CoreId(18))));
+    }
+    t.row("memory remote 2nd node", m_r2);
+
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/table6.csv");
+}

@@ -1,0 +1,54 @@
+//! Regenerate paper Table VII: memory bandwidth scaling with concurrently
+//! reading/writing cores, source snoop vs home snoop. The headline shape:
+//! local reads saturate ~63 GB/s in both modes; writes peak around five
+//! cores and settle near 26 GB/s; remote reads are tracker-starved under
+//! source snooping (~17 GB/s) but QPI-limited (~31 GB/s) under home
+//! snooping.
+
+use hswx_bench::scenarios::{aggregate_read, aggregate_write};
+use hswx_haswell::placement::Level;
+use hswx_haswell::report::Table;
+use hswx_haswell::CoherenceMode::{HomeSnoop, SourceSnoop};
+use hswx_mem::{CoreId, NodeId};
+
+fn main() {
+    let counts = [1usize, 2, 4, 5, 8, 12];
+    let mut t = Table::new(
+        "table7",
+        &["case", "1", "2", "4", "5", "8", "12"],
+    );
+
+    let row = |f: &dyn Fn(&[CoreId]) -> f64| -> Vec<f64> {
+        counts
+            .iter()
+            .map(|&n| {
+                let cores: Vec<CoreId> = (0..n as u16).map(CoreId).collect();
+                f(&cores)
+            })
+            .collect()
+    };
+
+    t.row_f(
+        "local read, source snoop",
+        &row(&|c| aggregate_read(SourceSnoop, c, |_| NodeId(0), Level::Memory, 8 << 20)),
+    );
+    t.row_f(
+        "local read, home snoop",
+        &row(&|c| aggregate_read(HomeSnoop, c, |_| NodeId(0), Level::Memory, 8 << 20)),
+    );
+    t.row_f(
+        "local write, source snoop",
+        &row(&|c| aggregate_write(SourceSnoop, c, |_| NodeId(0), 4 << 20)),
+    );
+    t.row_f(
+        "remote read, source snoop",
+        &row(&|c| aggregate_read(SourceSnoop, c, |_| NodeId(1), Level::Memory, 8 << 20)),
+    );
+    t.row_f(
+        "remote read, home snoop",
+        &row(&|c| aggregate_read(HomeSnoop, c, |_| NodeId(1), Level::Memory, 8 << 20)),
+    );
+
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/table7.csv");
+}

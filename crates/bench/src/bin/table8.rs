@@ -1,0 +1,32 @@
+//! Regenerate paper Table VIII: memory read bandwidth scaling in COD mode —
+//! node-local plus node0→node1/2/3 transfers at 1–6 cores per node.
+
+use hswx_bench::scenarios::{aggregate_read, nth_core_of};
+use hswx_haswell::placement::Level;
+use hswx_haswell::report::Table;
+use hswx_haswell::CoherenceMode::ClusterOnDie;
+use hswx_mem::{CoreId, NodeId};
+
+fn main() {
+    let counts = [1usize, 2, 3, 4, 6];
+    let mut t = Table::new("table8", &["source", "1", "2", "3", "4", "6"]);
+
+    let row = |home: u8| -> Vec<f64> {
+        counts
+            .iter()
+            .map(|&n| {
+                let cores: Vec<CoreId> =
+                    (0..n).map(|i| nth_core_of(ClusterOnDie, 0, i)).collect();
+                aggregate_read(ClusterOnDie, &cores, |_| NodeId(home), Level::Memory, 8 << 20)
+            })
+            .collect()
+    };
+
+    t.row_f("local memory (node0)", &row(0));
+    t.row_f("node0 <- node1", &row(1));
+    t.row_f("node0 <- node2", &row(2));
+    t.row_f("node0 <- node3", &row(3));
+
+    print!("{}", t.to_text());
+    t.write_csv("results").expect("write results/table8.csv");
+}

@@ -1,0 +1,13 @@
+//! # hswx-bench — experiment harness
+//!
+//! Shared scenario code for the binaries that regenerate every table and
+//! figure of the paper, plus the calibration anchor suite that checks the
+//! simulator's emergent latencies/bandwidths against the paper's
+//! measurements.
+
+pub mod anchors;
+pub mod parallel;
+pub mod scenarios;
+
+pub use anchors::{bandwidth_anchors, latency_anchors, Anchor};
+pub use parallel::parallel_map;

@@ -1,0 +1,243 @@
+//! Reusable measurement scenarios.
+//!
+//! Each scenario builds a fresh system in the requested coherence mode,
+//! places data with a fully specified (core, level, state, home node)
+//! combination, and measures either chase latency or streaming bandwidth —
+//! the exact procedure behind every number in the paper's evaluation.
+
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{
+    pointer_chase, stream_read, stream_read_multi, stream_write_multi, Buffer, LoadWidth,
+};
+use hswx_haswell::placement::{Level, Placement, PlacedState};
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr, NodeId};
+
+/// Size presets per target level (sampled beyond [`Buffer::MAX_SIM_LINES`]).
+pub fn size_for_level(level: Level) -> u64 {
+    match level {
+        Level::L1 => 16 * 1024,
+        Level::L2 => 128 * 1024,
+        Level::L3 => 1024 * 1024,
+        Level::Memory => 64 * 1024 * 1024,
+    }
+}
+
+/// A fully specified latency scenario.
+#[derive(Debug, Clone)]
+pub struct LatencyScenario {
+    /// Coherence mode under test.
+    pub mode: CoherenceMode,
+    /// Cores that touch the data during placement, in order (last one ends
+    /// up holding the Forward copy for shared placements).
+    pub placers: Vec<CoreId>,
+    /// Placed coherence state.
+    pub state: PlacedState,
+    /// Cache level the data is left in.
+    pub level: Level,
+    /// Home node of the buffer.
+    pub home: NodeId,
+    /// Core that performs the measurement chase.
+    pub measurer: CoreId,
+    /// Nominal buffer size (defaults per level if `None`).
+    pub size: Option<u64>,
+}
+
+impl LatencyScenario {
+    /// Run the scenario; returns mean ns per access.
+    pub fn run(&self) -> f64 {
+        self.run_detailed().0
+    }
+
+    /// Run and also return the fraction of reads served from memory
+    /// (the paper's REMOTE_DRAM-style diagnostic).
+    pub fn run_detailed(&self) -> (f64, f64) {
+        let mut sys = System::new(SystemConfig::e5_2680_v3(self.mode));
+        let size = self.size.unwrap_or_else(|| size_for_level(self.level));
+        let buf = Buffer::on_node(&sys, self.home, size, 0);
+        let t = Placement::place(
+            &mut sys,
+            self.state,
+            &self.placers,
+            &buf.lines,
+            self.level,
+            SimTime::ZERO,
+        );
+        let m = pointer_chase(&mut sys, self.measurer, &buf.lines, t, 0xC0FFEE);
+        let mem_frac: f64 = m
+            .by_source
+            .iter()
+            .filter(|(s, _)| matches!(s, hswx_coherence::DataSource::Memory(_)))
+            .map(|(_, &c)| c as f64)
+            .sum::<f64>()
+            / m.samples as f64;
+        (m.ns_per_access, mem_frac)
+    }
+}
+
+/// A fully specified bandwidth scenario (single core).
+#[derive(Debug, Clone)]
+pub struct BandwidthScenario {
+    /// Coherence mode under test.
+    pub mode: CoherenceMode,
+    /// Placement cores (see [`LatencyScenario::placers`]).
+    pub placers: Vec<CoreId>,
+    /// Placed coherence state.
+    pub state: PlacedState,
+    /// Cache level the data is left in.
+    pub level: Level,
+    /// Home node of the buffer.
+    pub home: NodeId,
+    /// Core that performs the streaming measurement.
+    pub measurer: CoreId,
+    /// SIMD width of the measurement kernel.
+    pub width: LoadWidth,
+    /// Nominal buffer size (defaults per level if `None`).
+    pub size: Option<u64>,
+}
+
+impl BandwidthScenario {
+    /// Run the scenario; returns GB/s.
+    pub fn run(&self) -> f64 {
+        let mut sys = System::new(SystemConfig::e5_2680_v3(self.mode));
+        let size = self.size.unwrap_or_else(|| size_for_level(self.level));
+        let buf = Buffer::on_node(&sys, self.home, size, 0);
+        let t = Placement::place(
+            &mut sys,
+            self.state,
+            &self.placers,
+            &buf.lines,
+            self.level,
+            SimTime::ZERO,
+        );
+        stream_read(&mut sys, self.measurer, &buf.lines, self.width, t).gb_s
+    }
+}
+
+/// Aggregate read bandwidth: `n_cores` cores of `node` each stream their
+/// own buffer homed at `home_of(i)`, placed at `level`.
+pub fn aggregate_read(
+    mode: CoherenceMode,
+    cores: &[CoreId],
+    home_of: impl Fn(usize) -> NodeId,
+    level: Level,
+    size_per_core: u64,
+) -> f64 {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let bufs: Vec<Buffer> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Buffer::on_node(&sys, home_of(i), size_per_core, i as u64))
+        .collect();
+    let mut t = SimTime::ZERO;
+    if level != Level::Memory {
+        for (i, b) in bufs.iter().enumerate() {
+            t = Placement::modified(&mut sys, cores[i], &b.lines, level, t);
+        }
+    }
+    let streams: Vec<(CoreId, &[LineAddr])> = cores
+        .iter()
+        .zip(&bufs)
+        .map(|(&c, b)| (c, b.lines.as_slice()))
+        .collect();
+    stream_read_multi(&mut sys, &streams, LoadWidth::Avx256, t).gb_s
+}
+
+/// Aggregate write bandwidth to memory (cold buffers: every store is an
+/// RFO; dirty lines stream back to DRAM through capacity evictions).
+pub fn aggregate_write(
+    mode: CoherenceMode,
+    cores: &[CoreId],
+    home_of: impl Fn(usize) -> NodeId,
+    size_per_core: u64,
+) -> f64 {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    // Dense buffers: steady-state write bandwidth requires the dirty
+    // footprint to actually overflow the L3 into DRAM.
+    let bufs: Vec<Buffer> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Buffer::on_node_dense(&sys, home_of(i), size_per_core, i as u64))
+        .collect();
+    let streams: Vec<(CoreId, &[LineAddr])> = cores
+        .iter()
+        .zip(&bufs)
+        .map(|(&c, b)| (c, b.lines.as_slice()))
+        .collect();
+    stream_write_multi(&mut sys, &streams, LoadWidth::Avx256, SimTime::ZERO).gb_s
+}
+
+/// Latency curve over data-set sizes: placement level follows capacity
+/// (the paper's size-sweep methodology — Figures 4–7).
+pub fn latency_curve(
+    mode: CoherenceMode,
+    placers: &[CoreId],
+    state: PlacedState,
+    home: NodeId,
+    measurer: CoreId,
+    sizes: &[u64],
+) -> Vec<(f64, f64)> {
+    crate::parallel::parallel_map(sizes.to_vec(), |&size| {
+        let level = level_of(mode, size);
+        let ns = LatencyScenario {
+            mode,
+            placers: placers.to_vec(),
+            state,
+            level,
+            home,
+            measurer,
+            size: Some(size),
+        }
+        .run();
+        (size as f64, ns)
+    })
+}
+
+/// Bandwidth curve over data-set sizes (Figures 8/9).
+pub fn bandwidth_curve(
+    mode: CoherenceMode,
+    placers: &[CoreId],
+    state: PlacedState,
+    home: NodeId,
+    measurer: CoreId,
+    width: LoadWidth,
+    sizes: &[u64],
+) -> Vec<(f64, f64)> {
+    crate::parallel::parallel_map(sizes.to_vec(), |&size| {
+        let level = level_of(mode, size);
+        let gbs = BandwidthScenario {
+            mode,
+            placers: placers.to_vec(),
+            state,
+            level,
+            home,
+            measurer,
+            width,
+            size: Some(size),
+        }
+        .run();
+        (size as f64, gbs)
+    })
+}
+
+/// The cache level a data set of `size` bytes lands in, per mode.
+pub fn level_of(mode: CoherenceMode, size: u64) -> Level {
+    let sys = System::new(SystemConfig::e5_2680_v3(mode));
+    Placement::level_for_size(&sys, size)
+}
+
+/// Convenience: first core of a node in the given mode.
+pub fn first_core_of(mode: CoherenceMode, node: u8) -> CoreId {
+    let sys_cfg = SystemConfig::e5_2680_v3(mode);
+    let topo =
+        hswx_topology::SystemTopology::new(sys_cfg.sockets, sys_cfg.die, sys_cfg.mode.cod());
+    topo.cores_of_node(NodeId(node))[0]
+}
+
+/// Convenience: n-th core of a node.
+pub fn nth_core_of(mode: CoherenceMode, node: u8, n: usize) -> CoreId {
+    let sys_cfg = SystemConfig::e5_2680_v3(mode);
+    let topo =
+        hswx_topology::SystemTopology::new(sys_cfg.sockets, sys_cfg.die, sys_cfg.mode.cod());
+    topo.cores_of_node(NodeId(node))[n]
+}

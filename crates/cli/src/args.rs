@@ -1,0 +1,92 @@
+//! Tiny flag parser (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags plus positional arguments.
+pub struct Flags {
+    map: HashMap<String, String>,
+    /// Positional (non-flag) arguments in order.
+    pub positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parse `argv`; boolean flags (`--write`) get the value `"true"`.
+    pub fn parse(argv: &[String], boolean: &[&str]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if boolean.contains(&key) {
+                    map.insert(key.to_string(), "true".to_string());
+                } else {
+                    let v = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{key} needs a value"))?;
+                    map.insert(key.to_string(), v.clone());
+                    i += 1;
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Flags { map, positional })
+    }
+
+    /// String flag with default.
+    pub fn get<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.map.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parsed flag with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let f = Flags::parse(&argv("file.txt --mode cod --window 8"), &[]).unwrap();
+        assert_eq!(f.positional, vec!["file.txt"]);
+        assert_eq!(f.get("mode", "source"), "cod");
+        assert_eq!(f.get_parse("window", 1u32).unwrap(), 8);
+        assert_eq!(f.get("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let f = Flags::parse(&argv("--write --level mem"), &["write"]).unwrap();
+        assert!(f.has("write"));
+        assert_eq!(f.get("level", "l3"), "mem");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Flags::parse(&argv("--mode"), &[]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag_name() {
+        let f = Flags::parse(&argv("--window nope"), &[]).unwrap();
+        let e = f.get_parse("window", 1u32).unwrap_err();
+        assert!(e.contains("--window"));
+    }
+}

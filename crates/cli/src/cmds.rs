@@ -1,0 +1,269 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{
+    pointer_chase, stream_read, stream_write, stream_write_nt, Buffer, LoadWidth,
+};
+use hswx_haswell::placement::{Level, PlacedState, Placement};
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, NodeId};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+hswx — dual-socket Haswell-EP memory-system simulator
+
+USAGE:
+  hswx info      [--mode source|home|cod]
+  hswx latency   [--mode M] [--state M|E|S] [--level l1|l2|l3|mem]
+                 [--placer CORE[,CORE..]] [--measurer CORE] [--home NODE] [--size BYTES]
+  hswx bandwidth [latency flags] [--width avx|sse] [--write | --write-nt]
+  hswx replay    FILE [--mode M] [--window N]
+  hswx explain   [latency flags]   (prints the protocol steps of one access)
+  hswx apps      [--accesses N]
+
+EXAMPLES:
+  hswx latency --state M --level l1 --placer 1 --measurer 0
+  hswx bandwidth --level mem --size 67108864 --width avx
+  hswx replay mytrace.txt --mode cod --window 8";
+
+fn mode_of(flags: &Flags) -> Result<CoherenceMode, String> {
+    match flags.get("mode", "source") {
+        "source" | "src" | "default" => Ok(CoherenceMode::SourceSnoop),
+        "home" | "hs" => Ok(CoherenceMode::HomeSnoop),
+        "cod" => Ok(CoherenceMode::ClusterOnDie),
+        other => Err(format!("unknown --mode {other} (source|home|cod)")),
+    }
+}
+
+fn level_of(flags: &Flags) -> Result<Level, String> {
+    match flags.get("level", "l3") {
+        "l1" => Ok(Level::L1),
+        "l2" => Ok(Level::L2),
+        "l3" => Ok(Level::L3),
+        "mem" | "memory" => Ok(Level::Memory),
+        other => Err(format!("unknown --level {other} (l1|l2|l3|mem)")),
+    }
+}
+
+fn state_of(flags: &Flags) -> Result<PlacedState, String> {
+    match flags.get("state", "E") {
+        "M" | "m" | "modified" => Ok(PlacedState::Modified),
+        "E" | "e" | "exclusive" => Ok(PlacedState::Exclusive),
+        "S" | "s" | "shared" => Ok(PlacedState::Shared),
+        other => Err(format!("unknown --state {other} (M|E|S)")),
+    }
+}
+
+fn placers_of(flags: &Flags) -> Result<Vec<CoreId>, String> {
+    flags
+        .get("placer", "0")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u16>()
+                .map(CoreId)
+                .map_err(|_| format!("bad core id in --placer: {s}"))
+        })
+        .collect()
+}
+
+fn default_size(level: Level) -> u64 {
+    match level {
+        Level::L1 => 16 << 10,
+        Level::L2 => 128 << 10,
+        Level::L3 => 1 << 20,
+        Level::Memory => 64 << 20,
+    }
+}
+
+/// `hswx info` — describe the simulated machine.
+pub fn info(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let mode = mode_of(&flags)?;
+    let sys = System::new(SystemConfig::e5_2680_v3(mode));
+    println!("mode:   {}", sys.cfg.mode.label());
+    println!("cores:  {} ({} sockets)", sys.topo.n_cores(), sys.topo.n_sockets());
+    println!(
+        "caches: L1D {} KiB, L2 {} KiB, L3 {} MiB/socket (inclusive, per-slice CV bits)",
+        sys.cfg.l1.size_bytes >> 10,
+        sys.cfg.l2.size_bytes >> 10,
+        (sys.cfg.l3_slice.size_bytes * sys.topo.cores_per_socket() as u64) >> 20,
+    );
+    println!("memory: 4x DDR4-2133 per socket ({:.1} GB/s)", 4.0 * sys.cfg.dram.bus_gb_s);
+    println!("qpi:    {:.1} GB/s per direction (2 links)", sys.calib().qpi_gb_s);
+    for node in sys.topo.nodes() {
+        let cores = sys.topo.cores_of_node(node);
+        println!(
+            "  {node}: cores {}..{} ({} slices, {} HA)",
+            cores.first().map(|c| c.0).unwrap_or(0),
+            cores.last().map(|c| c.0).unwrap_or(0),
+            sys.topo.slices_of_node(node).len(),
+            sys.topo.has_of_node(node).len(),
+        );
+    }
+    Ok(())
+}
+
+/// `hswx latency` — one placed-state pointer-chase measurement.
+pub fn latency(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let mode = mode_of(&flags)?;
+    let level = level_of(&flags)?;
+    let state = state_of(&flags)?;
+    let placers = placers_of(&flags)?;
+    let measurer = CoreId(flags.get_parse("measurer", 0u16)?);
+    let home = NodeId(flags.get_parse("home", 0u8)?);
+    let size = flags.get_parse("size", default_size(level))?;
+
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    if home.0 >= sys.topo.n_nodes() {
+        return Err(format!("--home {} out of range (0..{})", home.0, sys.topo.n_nodes()));
+    }
+    let buf = Buffer::on_node(&sys, home, size, 0);
+    let t = Placement::place(&mut sys, state, &placers, &buf.lines, level, SimTime::ZERO);
+    let m = pointer_chase(&mut sys, measurer, &buf.lines, t, 0xCAFE);
+    println!("{:.1} ns per load ({} samples)", m.ns_per_access, m.samples);
+    let mut sources: Vec<_> = m.by_source.iter().collect();
+    sources.sort_by(|a, b| b.1.cmp(a.1));
+    for (src, n) in sources {
+        println!("  {:>6.1}% {src:?}", 100.0 * *n as f64 / m.samples as f64);
+    }
+    Ok(())
+}
+
+/// `hswx bandwidth` — one placed-state streaming measurement.
+pub fn bandwidth(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["write", "write-nt"])?;
+    let mode = mode_of(&flags)?;
+    let level = level_of(&flags)?;
+    let state = state_of(&flags)?;
+    let placers = placers_of(&flags)?;
+    let measurer = CoreId(flags.get_parse("measurer", 0u16)?);
+    let home = NodeId(flags.get_parse("home", 0u8)?);
+    let size = flags.get_parse("size", default_size(level))?;
+    let width = match flags.get("width", "avx") {
+        "avx" => LoadWidth::Avx256,
+        "sse" => LoadWidth::Sse128,
+        other => return Err(format!("unknown --width {other} (avx|sse)")),
+    };
+
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let buf = Buffer::on_node(&sys, home, size, 0);
+    let t = Placement::place(&mut sys, state, &placers, &buf.lines, level, SimTime::ZERO);
+    let m = if flags.has("write-nt") {
+        stream_write_nt(&mut sys, measurer, &buf.lines, width, t)
+    } else if flags.has("write") {
+        stream_write(&mut sys, measurer, &buf.lines, width, t)
+    } else {
+        stream_read(&mut sys, measurer, &buf.lines, width, t)
+    };
+    println!("{:.1} GB/s ({} lines)", m.gb_s, m.lines);
+    Ok(())
+}
+
+/// `hswx explain` — run one placed-state access with the protocol
+/// transcript armed and print the steps in order.
+pub fn explain(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let mode = mode_of(&flags)?;
+    let level = level_of(&flags)?;
+    let state = state_of(&flags)?;
+    let placers = placers_of(&flags)?;
+    let measurer = CoreId(flags.get_parse("measurer", 0u16)?);
+    let home = NodeId(flags.get_parse("home", 0u8)?);
+
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let buf = Buffer::on_node(&sys, home, 4096, 0);
+    let t = Placement::place(&mut sys, state, &placers, &buf.lines, level, SimTime::ZERO);
+    sys.trace_next();
+    let out = sys.read(measurer, buf.lines[0], t);
+    let steps = sys.take_trace();
+    println!(
+        "read of a {state:?}-state line at {level:?} (home {home}) by core {}:",
+        measurer.0
+    );
+    println!("  completed in {:.1} ns, data from {:?}\n", out.latency_ns(t), out.source);
+    for (i, (at, step)) in steps.iter().enumerate() {
+        println!(
+            "  {:>2}. [{:>6.1} ns] {}",
+            i + 1,
+            at.since(t).as_ns(),
+            describe(step)
+        );
+    }
+    Ok(())
+}
+
+fn describe(step: &hswx_haswell::ProtoStep) -> String {
+    use hswx_haswell::ProtoStep::*;
+    match step {
+        PrivateHit { level } => format!("hit in the core's own L{level}"),
+        ForwardReclaim => "Shared-state hit: notify the CA to reclaim the Forward state".into(),
+        CaLookup { slice, hit } => format!(
+            "caching agent {slice} tag lookup: {}",
+            if *hit { "hit" } else { "miss -> node-level transaction" }
+        ),
+        LocalCoreProbe { target, forwarded } => format!(
+            "probe local core {} ({})",
+            target.0,
+            if *forwarded { "it forwards dirty data" } else { "miss/clean: L3 supplies data" }
+        ),
+        SnoopPeer { node } => format!("snoop {node}'s caching agent"),
+        PeerCoreProbe { node, target, forwarded } => format!(
+            "{node} probes its core {} ({})",
+            target.0,
+            if *forwarded { "forwards dirty data" } else { "clean" }
+        ),
+        PeerForward { node, from_core } => format!(
+            "{node} forwards the line from its {}",
+            if *from_core { "core cache" } else { "L3" }
+        ),
+        HomeRequest { ha } => format!("request reaches home agent {ha}"),
+        HitMeLookup { hit: true, clean } => format!(
+            "HitME directory cache hit (shared-clean: {})",
+            clean.unwrap_or(false)
+        ),
+        HitMeLookup { hit: false, .. } => {
+            "HitME directory cache miss -> wait for the in-memory directory".into()
+        }
+        DirectoryRead { state } => format!("in-memory directory read: {state:?}"),
+        MemoryReply => "home memory supplies the data".into(),
+    }
+}
+
+/// `hswx replay FILE` — replay a memory trace.
+pub fn replay(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("replay needs a trace file argument")?;
+    let mode = mode_of(&flags)?;
+    let window = flags.get_parse("window", 4u32)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = hswx_workloads::Trace::parse(&text).map_err(|e| e.to_string())?;
+    let r = hswx_workloads::replay(&trace, mode, window);
+    println!("replayed {} ops in {:.1} us (simulated)", r.ops, r.runtime_ns / 1000.0);
+    let mut classes: Vec<_> = r.mean_latency_ns.iter().collect();
+    classes.sort_by_key(|(class, _)| *class);
+    for (class, ns) in classes {
+        println!("  mean {class} latency: {ns:.1} ns");
+    }
+    Ok(())
+}
+
+/// `hswx apps` — the SPEC-proxy comparison (paper Fig. 10).
+pub fn apps(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let accesses = flags.get_parse("accesses", 1500usize)?;
+    println!("{:<22} {:>8} {:>8} {:>8}", "application", "source", "home", "cod");
+    for app in hswx_workloads::omp2012_proxies()
+        .into_iter()
+        .chain(hswx_workloads::mpi2007_proxies())
+    {
+        let r = hswx_workloads::proxy::relative_runtimes(&app, accesses, 0x5EED);
+        println!("{:<22} {:>8.3} {:>8.3} {:>8.3}", app.name, r[0], r[1], r[2]);
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! `hswx` — command-line front end for the simulator.
+//!
+//! ```text
+//! hswx info      [--mode MODE]
+//! hswx latency   [--mode MODE] [--state M|E|S] [--level l1|l2|l3|mem]
+//!                [--placer CORE[,CORE…]] [--measurer CORE] [--home NODE]
+//!                [--size BYTES]
+//! hswx bandwidth [same flags] [--width avx|sse] [--write|--write-nt]
+//! hswx replay    FILE [--mode MODE] [--window N]
+//! hswx explain   [latency flags]
+//! hswx apps      [--accesses N]
+//! ```
+//!
+//! `MODE` is `source` (default), `home`, or `cod`.
+
+mod args;
+mod cmds;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", cmds::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "info" => cmds::info(rest),
+        "latency" => cmds::latency(rest),
+        "bandwidth" => cmds::bandwidth(rest),
+        "replay" => cmds::replay(rest),
+        "explain" => cmds::explain(rest),
+        "apps" => cmds::apps(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", cmds::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", cmds::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

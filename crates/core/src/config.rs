@@ -1,0 +1,176 @@
+//! System configuration.
+//!
+//! A [`SystemConfig`] fully describes one simulated machine: die variant,
+//! socket count, coherence mode (the three BIOS configurations the paper
+//! compares), cache geometries, DRAM timings, and calibration constants.
+
+use crate::calib::Calib;
+use hswx_coherence::ProtocolConfig;
+use hswx_mem::{CacheGeometry, DdrTimings, Replacement};
+use hswx_topology::DieVariant;
+use serde::{Deserialize, Serialize};
+
+/// The three coherence configurations of the paper's test system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoherenceMode {
+    /// BIOS default: Early Snoop enabled → source snooping.
+    SourceSnoop,
+    /// Early Snoop disabled → home snooping (no directory in 2-socket).
+    HomeSnoop,
+    /// Cluster-on-Die: 4 NUMA nodes, home snooping + in-memory directory
+    /// + HitME directory cache.
+    ClusterOnDie,
+}
+
+impl CoherenceMode {
+    /// The protocol rule set for this mode.
+    pub fn protocol(self) -> ProtocolConfig {
+        match self {
+            CoherenceMode::SourceSnoop => ProtocolConfig::source_snoop(),
+            CoherenceMode::HomeSnoop => ProtocolConfig::home_snoop(),
+            CoherenceMode::ClusterOnDie => ProtocolConfig::cod(),
+        }
+    }
+
+    /// Whether the topology splits each socket into two NUMA nodes.
+    pub fn cod(self) -> bool {
+        matches!(self, CoherenceMode::ClusterOnDie)
+    }
+
+    /// Short label used in tables/CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoherenceMode::SourceSnoop => "source-snoop",
+            CoherenceMode::HomeSnoop => "home-snoop",
+            CoherenceMode::ClusterOnDie => "cod",
+        }
+    }
+
+    /// All three modes, in the paper's comparison order.
+    pub fn all() -> [CoherenceMode; 3] {
+        [
+            CoherenceMode::SourceSnoop,
+            CoherenceMode::HomeSnoop,
+            CoherenceMode::ClusterOnDie,
+        ]
+    }
+}
+
+/// Full description of one simulated system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of sockets (the paper's system has 2).
+    pub sockets: u8,
+    /// Physical die variant per socket.
+    pub die: DieVariant,
+    /// Coherence mode under test.
+    pub mode: CoherenceMode,
+    /// L1D geometry per core.
+    pub l1: CacheGeometry,
+    /// L2 geometry per core.
+    pub l2: CacheGeometry,
+    /// L3 slice geometry (one slice per core).
+    pub l3_slice: CacheGeometry,
+    /// DDR4 timings (per channel; 2 channels per home agent).
+    pub dram: DdrTimings,
+    /// Timing/bandwidth calibration constants.
+    pub calib: Calib,
+    /// Whether the L2 streamer prefetcher is active (ablation switch).
+    pub prefetch: bool,
+    /// Whether the HitME directory cache is active in COD mode
+    /// (ablation switch; ignored outside COD).
+    pub hitme_enabled: bool,
+    /// HitME directory cache entries per home agent (1792 ≈ the real
+    /// 14 KiB organization; ablation studies sweep this).
+    pub hitme_entries: u32,
+    /// L3 victim-selection policy (ablation switch; real silicon uses a
+    /// PLRU-family approximation).
+    pub l3_replacement: Replacement,
+}
+
+impl SystemConfig {
+    /// The paper's test system: dual-socket Xeon E5-2680 v3 (12-core
+    /// Haswell-EP, 2.5 GHz, DDR4-2133) in the given coherence mode.
+    pub fn e5_2680_v3(mode: CoherenceMode) -> Self {
+        SystemConfig {
+            sockets: 2,
+            die: DieVariant::TwelveCore,
+            mode,
+            l1: CacheGeometry::l1d_haswell(),
+            l2: CacheGeometry::l2_haswell(),
+            l3_slice: CacheGeometry::l3_slice_haswell(),
+            dram: DdrTimings::ddr4_2133(),
+            calib: Calib::haswell_ep(),
+            prefetch: true,
+            hitme_enabled: true,
+            hitme_entries: 1792,
+            l3_replacement: Replacement::Lru,
+        }
+    }
+
+    /// An 8-core-die SKU (e.g. Xeon E5-2667 v3 class): single ring,
+    /// no on-chip queue crossings — COD splits it into 4+4.
+    pub fn e5_8core(mode: CoherenceMode) -> Self {
+        SystemConfig { die: DieVariant::EightCore, ..Self::e5_2680_v3(mode) }
+    }
+
+    /// A glueless four-socket system of 12-core dies (E5-4600 v3 class),
+    /// sockets fully connected by QPI. Enables the paper's motivating
+    /// scaling question: how fast do snoop broadcasts become expensive?
+    pub fn quad_socket(mode: CoherenceMode) -> Self {
+        SystemConfig { sockets: 4, ..Self::e5_2680_v3(mode) }
+    }
+
+    /// An 18-core-die SKU (e.g. Xeon E5-2699 v3 class): the largest
+    /// partitioned die, 8 + 10 cores on the two rings.
+    pub fn e5_18core(mode: CoherenceMode) -> Self {
+        SystemConfig { die: DieVariant::EighteenCore, ..Self::e5_2680_v3(mode) }
+    }
+
+    /// Total cores.
+    pub fn n_cores(&self) -> u16 {
+        self.die.cores() * self.sockets as u16
+    }
+
+    /// Home agents in the system (2 per socket).
+    pub fn n_has(&self) -> u8 {
+        2 * self.sockets
+    }
+
+    /// DDR channels per home agent (4 per socket / 2 HAs).
+    pub fn channels_per_ha(&self) -> u32 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_shape() {
+        let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
+        assert_eq!(cfg.n_cores(), 24);
+        assert_eq!(cfg.n_has(), 4);
+        assert_eq!(cfg.channels_per_ha(), 2);
+        assert_eq!(cfg.l3_slice.lines() * 12, 30 * 1024 * 1024 / 64);
+    }
+
+    #[test]
+    fn modes_map_to_protocols() {
+        assert!(!CoherenceMode::SourceSnoop.protocol().directory);
+        assert!(!CoherenceMode::HomeSnoop.protocol().directory);
+        let cod = CoherenceMode::ClusterOnDie.protocol();
+        assert!(cod.directory && cod.hitme);
+        assert!(CoherenceMode::ClusterOnDie.cod());
+        assert!(!CoherenceMode::HomeSnoop.cod());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = CoherenceMode::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hswx-haswell — full-system Haswell-EP simulator and microbenchmarks
+//!
+//! The top of the `hswx` stack: assembles the substrates (DES engine, cache
+//! and DRAM structures, MESIF/directory protocol rules, uncore topology)
+//! into a complete dual-socket Haswell-EP machine model, and implements the
+//! paper's methodology contribution — microbenchmarks with **full memory
+//! location and coherence state control** — on top of it.
+//!
+//! ```
+//! use hswx_haswell::{CoherenceMode, SystemConfig, System};
+//! use hswx_mem::{CoreId, LineAddr};
+//! use hswx_engine::SimTime;
+//!
+//! let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+//! let out = sys.read(CoreId(0), LineAddr(0), SimTime::ZERO);
+//! assert!(out.latency_ns(SimTime::ZERO) > 50.0); // cold miss goes to DRAM
+//! ```
+//!
+//! Modules:
+//! * [`config`] / [`calib`] — system description and component timing.
+//! * [`analytic`] — closed-form latency formulas used as differential
+//!   checks against the simulator.
+//! * [`system`] — the simulated machine and its transaction walks.
+//! * [`placement`] — coherence-state placement (the paper's §V-B recipes).
+//! * [`microbench`] — latency and bandwidth measurement framework.
+//! * [`spec`] — the static architecture comparison data (paper Tables I/II).
+//! * [`report`] — result series/table plumbing shared by the bench harness.
+
+pub mod analytic;
+pub mod calib;
+pub mod config;
+pub mod microbench;
+pub mod placement;
+pub mod report;
+pub mod spec;
+pub mod system;
+
+pub use calib::Calib;
+pub use config::{CoherenceMode, SystemConfig};
+pub use placement::{PlacedState, Placement};
+pub use system::{AccessOutcome, ProtoStep, Stats, System};

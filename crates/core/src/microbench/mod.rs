@@ -1,0 +1,17 @@
+//! Microbenchmark framework.
+//!
+//! The measurement side of the paper's methodology: latency pointer chases
+//! ([`latency`]) and single-/multi-core streaming bandwidth
+//! ([`bandwidth`]), plus buffer allocation with `libnuma`-style node
+//! affinity ([`alloc`]).
+
+pub mod alloc;
+pub mod bandwidth;
+pub mod latency;
+
+pub use alloc::Buffer;
+pub use bandwidth::{
+    stream_read, stream_read_multi, stream_write, stream_write_multi, stream_write_nt,
+    stream_write_nt_multi, LoadWidth,
+};
+pub use latency::{pointer_chase, LatencyMeasurement};

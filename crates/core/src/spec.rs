@@ -1,0 +1,129 @@
+//! Static architecture data (paper Tables I and II).
+//!
+//! The paper's Table I compares the Sandy Bridge and Haswell
+//! micro-architectures; Table II describes the test system. Both are
+//! reproduced as data so the bench harness can print them and tests can
+//! cross-check the simulator's configuration against them.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the micro-architecture comparison (paper Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UarchRow {
+    /// Feature name.
+    pub feature: &'static str,
+    /// Sandy Bridge value.
+    pub sandy_bridge: &'static str,
+    /// Haswell value.
+    pub haswell: &'static str,
+}
+
+/// Paper Table I.
+pub fn table1_uarch_comparison() -> Vec<UarchRow> {
+    macro_rules! row {
+        ($f:expr, $sb:expr, $hw:expr) => {
+            UarchRow { feature: $f, sandy_bridge: $sb, haswell: $hw }
+        };
+    }
+    vec![
+        row!("Decode", "4(+1) x86/cycle", "4(+1) x86/cycle"),
+        row!("Allocation queue", "28/thread", "56"),
+        row!("Execute", "6 micro-ops/cycle", "8 micro-ops/cycle"),
+        row!("Retire", "4 micro-ops/cycle", "4 micro-ops/cycle"),
+        row!("Scheduler entries", "54", "60"),
+        row!("ROB entries", "168", "192"),
+        row!("INT/FP registers", "160/144", "168/168"),
+        row!("SIMD ISA", "AVX", "AVX2"),
+        row!("FPU width", "2x 256 bit (1x add, 1x mul)", "2x 256 bit FMA"),
+        row!("FLOPS/cycle", "16 single / 8 double", "32 single / 16 double"),
+        row!("Load/store buffers", "64/36", "72/42"),
+        row!(
+            "L1D accesses per cycle",
+            "2x 16 byte load + 1x 16 byte store",
+            "2x 32 byte load + 1x 32 byte store"
+        ),
+        row!("L2 bytes/cycle", "32", "64"),
+        row!("Memory channels", "4x DDR3-1600 (51.2 GB/s)", "4x DDR4-2133 (68.2 GB/s)"),
+        row!("QPI speed", "8 GT/s (32 GB/s)", "9.6 GT/s (38.4 GB/s)"),
+    ]
+}
+
+/// Test-system description (paper Table II).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestSystem {
+    /// Processor model.
+    pub processor: &'static str,
+    /// Cores per socket.
+    pub cores_per_socket: u16,
+    /// Sockets.
+    pub sockets: u8,
+    /// Nominal core frequency, GHz.
+    pub core_ghz: f64,
+    /// AVX base frequency, GHz.
+    pub avx_ghz: f64,
+    /// L1D per core, KiB.
+    pub l1d_kib: u32,
+    /// L2 per core, KiB.
+    pub l2_kib: u32,
+    /// L3 per socket, MiB.
+    pub l3_mib: u32,
+    /// Memory channels per socket.
+    pub channels: u32,
+    /// Memory speed, MT/s.
+    pub mem_mt_s: u32,
+    /// Per-socket memory bandwidth, GB/s.
+    pub mem_gb_s: f64,
+    /// QPI rate, GT/s.
+    pub qpi_gt_s: f64,
+    /// QPI bandwidth per link per direction, GB/s.
+    pub qpi_gb_s: f64,
+}
+
+/// Paper Table II: the dual Xeon E5-2680 v3 system.
+pub fn table2_test_system() -> TestSystem {
+    TestSystem {
+        processor: "Intel Xeon E5-2680 v3 (Haswell-EP, 12-core die)",
+        cores_per_socket: 12,
+        sockets: 2,
+        core_ghz: 2.5,
+        avx_ghz: 2.1,
+        l1d_kib: 32,
+        l2_kib: 256,
+        l3_mib: 30,
+        channels: 4,
+        mem_mt_s: 2133,
+        mem_gb_s: 68.3,
+        qpi_gt_s: 9.6,
+        qpi_gb_s: 19.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoherenceMode, SystemConfig};
+
+    #[test]
+    fn simulator_config_matches_table2() {
+        let spec = table2_test_system();
+        let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
+        assert_eq!(cfg.n_cores(), spec.cores_per_socket * spec.sockets as u16);
+        assert_eq!(cfg.l1.size_bytes, spec.l1d_kib as u64 * 1024);
+        assert_eq!(cfg.l2.size_bytes, spec.l2_kib as u64 * 1024);
+        assert_eq!(
+            cfg.l3_slice.size_bytes * spec.cores_per_socket as u64,
+            spec.l3_mib as u64 * 1024 * 1024
+        );
+        assert_eq!(cfg.calib.core_ghz, spec.core_ghz);
+        assert_eq!(cfg.calib.avx_ghz, spec.avx_ghz);
+        // Two QPI links per direction aggregated.
+        assert_eq!(cfg.calib.qpi_gb_s, 2.0 * spec.qpi_gb_s);
+    }
+
+    #[test]
+    fn table1_has_all_paper_rows() {
+        let t = table1_uarch_comparison();
+        assert_eq!(t.len(), 15);
+        assert!(t.iter().any(|r| r.feature == "QPI speed"));
+    }
+}

@@ -1,0 +1,1362 @@
+//! The full-system simulator.
+//!
+//! [`System`] owns every architectural structure of the simulated machine —
+//! private L1/L2 per core, L3 slices with caching agents, home agents with
+//! in-memory directory, HitME cache and DDR4 controllers, QPI links — and
+//! executes memory accesses as *timed transaction walks*: each access
+//! traverses the same protocol steps real hardware would (CA lookup, core
+//! snoops, QPI crossings, home-agent arbitration, directory consultation,
+//! DRAM timing), reserving shared resources along the way so that
+//! contention and queueing emerge under load.
+//!
+//! Coherence *decisions* come from `hswx-coherence`'s pure rule tables;
+//! structural *distances* from `hswx-topology`; the nanosecond cost of each
+//! component from [`crate::calib::Calib`].
+
+use crate::calib::Calib;
+use crate::config::SystemConfig;
+use hswx_coherence::{
+    ca_local_action, dir_after_read, dir_after_rfo, fill_state_after_read, ha_read_arrival_plan,
+    ha_read_dir_plan, CaAction, CoreState, DataSource, DirState, HitMeCache, HitMeEntry,
+    InMemoryDirectory, L3Meta, MesifState, NodeSet, ProtocolConfig, ReqType, SnoopMode,
+};
+use hswx_engine::{SimDuration, SimTime, ThroughputResource, TimedPool};
+use hswx_mem::{
+    CoreId, HaId, LineAddr, MemoryController, NodeId, SetAssocCache, SliceId,
+};
+use hswx_topology::{Endpoint, SystemTopology};
+use std::collections::HashMap;
+
+/// Result of one simulated memory access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessOutcome {
+    /// When the data became usable at the core.
+    pub done: SimTime,
+    /// Where the data came from.
+    pub source: DataSource,
+}
+
+impl AccessOutcome {
+    /// Latency relative to the issue time.
+    pub fn latency_ns(&self, issued: SimTime) -> f64 {
+        self.done.since(issued).as_ns()
+    }
+}
+
+/// Event counters exposed by the system (the simulator's "uncore PMU").
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Completed reads per data source.
+    pub reads_by_source: HashMap<DataSource, u64>,
+    /// Completed writes (RFO transactions).
+    pub rfos: u64,
+    /// Snoop messages sent (any kind).
+    pub snoops_sent: u64,
+    /// Broadcasts triggered by a `SnoopAll` in-memory directory state.
+    pub dir_broadcasts: u64,
+    /// Reads answered from memory although remote caches held copies —
+    /// the analogue of `MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM` the
+    /// paper uses to diagnose Figure 7.
+    pub remote_dram_fwd: u64,
+    /// Reads answered by a remote cache forward (`…:REMOTE_FWD` analogue).
+    pub remote_cache_fwd: u64,
+    /// Dirty writebacks that reached DRAM.
+    pub dram_writebacks: u64,
+}
+
+impl Stats {
+    fn tally_read(&mut self, src: DataSource) {
+        *self.reads_by_source.entry(src).or_insert(0) += 1;
+    }
+
+    /// Total completed reads.
+    pub fn total_reads(&self) -> u64 {
+        self.reads_by_source.values().sum()
+    }
+
+    /// Count for one source.
+    pub fn reads_from(&self, src: DataSource) -> u64 {
+        self.reads_by_source.get(&src).copied().unwrap_or(0)
+    }
+}
+
+/// One step of a traced transaction — the simulator's explanation of what
+/// the protocol did for a single access (see [`System::trace_next`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoStep {
+    /// Hit in the requesting core's own L1/L2.
+    PrivateHit {
+        /// Which level (1 or 2).
+        level: u8,
+    },
+    /// Shared-state private hit triggered a Forward-reclaim L3 round trip.
+    ForwardReclaim,
+    /// The node's caching agent looked up its L3 slice.
+    CaLookup {
+        /// Responsible slice.
+        slice: SliceId,
+        /// Whether the tag matched.
+        hit: bool,
+    },
+    /// The CA probed a possibly-newer copy in a local core.
+    LocalCoreProbe {
+        /// Probed core.
+        target: CoreId,
+        /// Whether the core forwarded dirty data.
+        forwarded: bool,
+    },
+    /// A snoop was sent to a peer node's caching agent.
+    SnoopPeer {
+        /// Snooped node.
+        node: NodeId,
+    },
+    /// A peer node's CA probed one of its cores before answering.
+    PeerCoreProbe {
+        /// Peer node.
+        node: NodeId,
+        /// Probed core.
+        target: CoreId,
+        /// Whether the core forwarded dirty data.
+        forwarded: bool,
+    },
+    /// A peer forwarded the line (from its L3 or a core cache).
+    PeerForward {
+        /// Forwarding node.
+        node: NodeId,
+        /// True when the data came out of a core's L1/L2.
+        from_core: bool,
+    },
+    /// The request reached the home agent.
+    HomeRequest {
+        /// Home agent.
+        ha: HaId,
+    },
+    /// HitME directory-cache lookup at the home agent.
+    HitMeLookup {
+        /// Whether an entry was found.
+        hit: bool,
+        /// The entry's shared-clean bit, when hit.
+        clean: Option<bool>,
+    },
+    /// In-memory directory consulted (piggybacked on the DRAM read).
+    DirectoryRead {
+        /// The 2-bit state found.
+        state: DirState,
+    },
+    /// Data supplied from the home node's memory.
+    MemoryReply,
+}
+
+/// Outcome of probing a single peer node during a node-level transaction.
+struct PeerProbe {
+    /// When the peer's snoop response reaches the home agent.
+    resp_at_ha: SimTime,
+    /// If the peer forwarded data: when it reaches the requesting core,
+    /// and which source class it was.
+    forward: Option<(SimTime, DataSource)>,
+    /// Whether the peer still holds a (now Shared) copy afterwards.
+    keeps_copy: bool,
+}
+
+/// The simulated machine.
+pub struct System {
+    /// Configuration this system was built from.
+    pub cfg: SystemConfig,
+    /// Structural topology.
+    pub topo: SystemTopology,
+    proto: ProtocolConfig,
+    cal: Calib,
+
+    l1: Vec<SetAssocCache<CoreState>>,
+    l2: Vec<SetAssocCache<CoreState>>,
+    l3: Vec<SetAssocCache<L3Meta>>,
+    dir: Vec<InMemoryDirectory>,
+    hitme: Vec<HitMeCache>,
+    mem: Vec<MemoryController>,
+    /// QPI link resources, one per ordered socket pair
+    /// (index = from_socket * n_sockets + to_socket; diagonal unused).
+    /// Sockets are fully connected, as in glueless 4-socket Xeon E5 systems.
+    qpi: Vec<ThroughputResource>,
+    l3_port: Vec<ThroughputResource>,
+    /// Per-HA tracker pools: [local-socket requesters, remote-socket].
+    trackers: Vec<[TimedPool; 2]>,
+    /// Per-core snoop-responder availability (serializes forwards out of a
+    /// single probed core — the paper's 7.8/10.6 GB/s core-to-core limits).
+    fwd_busy: Vec<SimTime>,
+    /// Per-core write-combining buffers (back-pressure for NT stores).
+    wc_buf: Vec<TimedPool>,
+    /// Armed transcript collector (see [`System::trace_next`]).
+    trace_log: Option<Vec<(SimTime, ProtoStep)>>,
+
+    /// Event counters.
+    pub stats: Stats,
+}
+
+impl System {
+    /// Build an idle system from `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        assert!(
+            (2..=4).contains(&cfg.sockets),
+            "the QPI model covers 2-4 fully-connected sockets"
+        );
+        let topo = SystemTopology::new(cfg.sockets, cfg.die, cfg.mode.cod());
+        let n_cores = cfg.n_cores() as usize;
+        let n_has = cfg.n_has() as usize;
+        let cal = cfg.calib;
+        let proto = {
+            let mut p = cfg.mode.protocol();
+            if !cfg.hitme_enabled {
+                p.hitme = false;
+            }
+            p
+        };
+        let remote_trackers = if proto.directory {
+            // COD home agents preallocate few tracker entries per
+            // out-of-cluster requester.
+            cal.trackers_cod_remote
+        } else {
+            match proto.mode {
+                SnoopMode::Source => cal.trackers_source_remote,
+                SnoopMode::Home => cal.trackers_other,
+            }
+        } as usize;
+        System {
+            topo,
+            proto,
+            cal,
+            l1: (0..n_cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2: (0..n_cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            l3: (0..n_cores)
+                .map(|_| SetAssocCache::with_policy(cfg.l3_slice, cfg.l3_replacement))
+                .collect(),
+            dir: (0..n_has).map(|_| InMemoryDirectory::new()).collect(),
+            hitme: (0..n_has)
+                .map(|_| {
+                    HitMeCache::with_geometry(hswx_mem::CacheGeometry {
+                        size_bytes: cfg.hitme_entries.max(8) as u64 * 64,
+                        ways: 8,
+                    })
+                })
+                .collect(),
+            mem: (0..n_has)
+                .map(|_| MemoryController::new(cfg.channels_per_ha(), cfg.dram))
+                .collect(),
+            qpi: (0..cfg.sockets as usize * cfg.sockets as usize)
+                .map(|_| ThroughputResource::new(cal.qpi_gb_s))
+                .collect(),
+            l3_port: (0..n_cores)
+                .map(|_| ThroughputResource::new(cal.l3_port_gb_s))
+                .collect(),
+            trackers: (0..n_has)
+                .map(|_| {
+                    [
+                        TimedPool::new(cal.trackers_other as usize),
+                        TimedPool::new(remote_trackers),
+                    ]
+                })
+                .collect(),
+            fwd_busy: vec![SimTime::ZERO; n_cores],
+            wc_buf: (0..n_cores)
+                .map(|_| TimedPool::new(cal.lfb_per_core as usize))
+                .collect(),
+            trace_log: None,
+            stats: Stats::default(),
+            cfg,
+        }
+    }
+
+    /// Calibration in use.
+    pub fn calib(&self) -> &Calib {
+        &self.cal
+    }
+
+    /// Protocol configuration in use.
+    pub fn protocol(&self) -> ProtocolConfig {
+        self.proto
+    }
+
+    /// All nodes as a set.
+    pub fn all_nodes(&self) -> NodeSet {
+        NodeSet::first_n(self.topo.n_nodes())
+    }
+
+    /// Arm the protocol transcript: the steps of every access until
+    /// [`take_trace`](Self::take_trace) is called are recorded.
+    pub fn trace_next(&mut self) {
+        self.trace_log = Some(Vec::new());
+    }
+
+    /// Collect the recorded `(time, step)` protocol transcript, sorted by
+    /// time, and disarm tracing.
+    pub fn take_trace(&mut self) -> Vec<(SimTime, ProtoStep)> {
+        let mut log = self.trace_log.take().unwrap_or_default();
+        log.sort_by_key(|&(t, _)| t);
+        log
+    }
+
+    fn log(&mut self, at: SimTime, step: ProtoStep) {
+        if let Some(log) = &mut self.trace_log {
+            log.push((at, step));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // messaging primitives
+    // ------------------------------------------------------------------
+
+    /// Deliver a `bytes`-sized message, reserving QPI when the path crosses
+    /// sockets. Returns the arrival time.
+    fn send(&mut self, t: SimTime, from: Endpoint, to: Endpoint, bytes: u64) -> SimTime {
+        let d = self.topo.distance(from, to);
+        let transit = self.cal.transit(d);
+        if d.qpi > 0 {
+            let sa = self.socket_of_endpoint(from);
+            let sb = self.socket_of_endpoint(to);
+            let idx = sa.0 as usize * self.cfg.sockets as usize + sb.0 as usize;
+            let serialized = self.qpi[idx].transfer(t, bytes);
+            serialized + transit
+        } else {
+            t + transit
+        }
+    }
+
+    fn socket_of_endpoint(&self, e: Endpoint) -> hswx_mem::SocketId {
+        match e {
+            Endpoint::Core(c) => self.topo.socket_of_core(c),
+            Endpoint::Slice(s) => self.topo.socket_of_core(CoreId(s.0)),
+            Endpoint::Ha(h) => hswx_mem::SocketId(h.0 / 2),
+            Endpoint::Qpi(s) => s,
+        }
+    }
+
+    fn ns(&self, x: f64) -> SimDuration {
+        SimDuration::from_ns(x)
+    }
+
+    // ------------------------------------------------------------------
+    // private-cache management
+    // ------------------------------------------------------------------
+
+    /// Install `line` in `core`'s L1+L2 (inclusive pair), cascading
+    /// evictions. Dirty L2 victims write back into the node's L3.
+    fn fill_private(&mut self, core: CoreId, line: LineAddr, st: CoreState, t: SimTime) {
+        let ci = core.0 as usize;
+        // L2 first (inclusion parent).
+        if let Some(existing) = self.l2[ci].access(line) {
+            *existing = st;
+        } else if let Some((vline, vstate)) = self.l2[ci].insert(line, st) {
+            self.evict_l2_victim(core, vline, vstate, t);
+        }
+        // Then L1.
+        if let Some(existing) = self.l1[ci].access(line) {
+            *existing = st;
+        } else if let Some((vline, vstate)) = self.l1[ci].insert(line, st) {
+            // L1 victim still lives in L2 (inclusion): merge dirtiness.
+            if vstate == CoreState::Modified {
+                if let Some(l2st) = self.l2[ci].peek_mut(vline) {
+                    *l2st = CoreState::Modified;
+                } else {
+                    // Inclusion was broken by an L2 eviction of this very
+                    // line during the insert above; write back to L3.
+                    self.writeback_to_l3(core, vline, t);
+                }
+            }
+        }
+    }
+
+    /// Handle an L2 capacity victim: remove the L1 copy (inclusion) and
+    /// write back to L3 if dirty. Clean victims vanish silently — the L3's
+    /// core-valid bit intentionally goes stale.
+    fn evict_l2_victim(&mut self, core: CoreId, line: LineAddr, st: CoreState, t: SimTime) {
+        let ci = core.0 as usize;
+        let l1_dirty = matches!(self.l1[ci].remove(line), Some(CoreState::Modified));
+        if st == CoreState::Modified || l1_dirty {
+            self.writeback_to_l3(core, line, t);
+        }
+    }
+
+    /// A dirty line leaves `core`'s private caches into the node's L3.
+    fn writeback_to_l3(&mut self, core: CoreId, line: LineAddr, t: SimTime) {
+        let node = self.topo.node_of_core(core);
+        let slice = self.topo.slice_for_line(line, node);
+        let local = self.topo.node_local_core(core);
+        self.l3_port[slice.0 as usize].transfer(t, 64);
+        if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
+            meta.on_dirty_writeback(local);
+        } else {
+            // Inclusion violation would be a bug elsewhere; tolerate by
+            // installing a dirty L3-only line.
+            let meta = L3Meta::l3_only(MesifState::Modified);
+            if let Some((vl, vm)) = self.l3[slice.0 as usize].insert(line, meta) {
+                if vl != line {
+                    self.evict_l3_victim(node, vl, vm, t);
+                }
+            }
+        }
+    }
+
+    /// Install `meta` for `line` in the requester node's responsible L3
+    /// slice, evicting as needed.
+    fn install_l3(&mut self, node: NodeId, line: LineAddr, meta: L3Meta, t: SimTime) {
+        let slice = self.topo.slice_for_line(line, node);
+        if let Some((vline, vmeta)) = self.l3[slice.0 as usize].insert(line, meta) {
+            if vline != line {
+                self.evict_l3_victim(node, vline, vmeta, t);
+            }
+        }
+    }
+
+    /// Inclusive-L3 eviction: back-invalidate core copies; write dirty data
+    /// to the home memory; clean lines evict silently, leaving the
+    /// in-memory directory stale (the Table V effect).
+    fn evict_l3_victim(&mut self, node: NodeId, line: LineAddr, meta: L3Meta, t: SimTime) {
+        let cores = self.topo.cores_of_node(node);
+        let mut dirty = meta.state.is_dirty();
+        for (i, &c) in cores.iter().enumerate() {
+            if meta.cv & (1 << i) != 0 {
+                let ci = c.0 as usize;
+                if matches!(self.l1[ci].remove(line), Some(CoreState::Modified)) {
+                    dirty = true;
+                }
+                if matches!(self.l2[ci].remove(line), Some(CoreState::Modified)) {
+                    dirty = true;
+                }
+            }
+        }
+        if dirty {
+            let ha = self.topo.ha_for_line(line);
+            self.mem[ha.0 as usize].access(t, line, true);
+            self.stats.dram_writebacks += 1;
+            if self.proto.directory {
+                self.dir[ha.0 as usize].set(line, DirState::RemoteInvalid);
+                self.hitme[ha.0 as usize].invalidate(line);
+            }
+        }
+        // Clean: silent. Directory and HitME intentionally untouched.
+    }
+
+    // ------------------------------------------------------------------
+    // reads
+    // ------------------------------------------------------------------
+
+    /// Simulate a load by `core` of `line` issued at `t`.
+    pub fn read(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        let ci = core.0 as usize;
+        // L1 hit.
+        if let Some(&st) = self.l1[ci].access(line).map(|s| &*s) {
+            if st == CoreState::Shared {
+                if let Some(out) = self.shared_hit_reclaim(core, line, t) {
+                    return out;
+                }
+            }
+            self.log(t, ProtoStep::PrivateHit { level: 1 });
+            let out = AccessOutcome { done: t + self.ns(self.cal.t_l1), source: DataSource::SelfL1 };
+            self.stats.tally_read(out.source);
+            return out;
+        }
+        // L2 hit.
+        if let Some(&st) = self.l2[ci].access(line).map(|s| &*s) {
+            if st == CoreState::Shared {
+                if let Some(out) = self.shared_hit_reclaim(core, line, t) {
+                    return out;
+                }
+            }
+            // Refill L1.
+            self.fill_private(core, line, st, t);
+            self.log(t, ProtoStep::PrivateHit { level: 2 });
+            let out = AccessOutcome { done: t + self.ns(self.cal.t_l2), source: DataSource::SelfL2 };
+            self.stats.tally_read(out.source);
+            return out;
+        }
+        let out = self.read_via_ca(core, line, t);
+        self.stats.tally_read(out.source);
+        out
+    }
+
+    /// The paper's F-state reclaim effect (§VI-C, Fig. 9): a hit on a
+    /// Shared line whose node lacks the Forward copy notifies the caching
+    /// agent to reclaim F, costing a full L3 round trip.
+    fn shared_hit_reclaim(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> Option<AccessOutcome> {
+        let node = self.topo.node_of_core(core);
+        let slice = self.topo.slice_for_line(line, node);
+        if self.l3[slice.0 as usize].peek(line).map(|m| m.state) != Some(MesifState::Shared) {
+            return None;
+        }
+        self.log(t, ProtoStep::ForwardReclaim);
+        // Reclaim: this node becomes the forwarder; the previous F holder
+        // (if any) demotes to Shared. The demotion is an asynchronous
+        // notification and does not lengthen this load.
+        self.l3[slice.0 as usize]
+            .peek_mut(line)
+            .expect("checked above")
+            .state = MesifState::Forward;
+        let my_node = node;
+        let holders: Vec<NodeId> = self
+            .topo
+            .nodes()
+            .filter(|&n| n != my_node)
+            .collect();
+        for n in holders {
+            let pslice = self.topo.slice_for_line(line, n);
+            if let Some(m) = self.l3[pslice.0 as usize].peek_mut(line) {
+                if m.state == MesifState::Forward {
+                    m.state = MesifState::Shared;
+                }
+            }
+        }
+        let t_req = t + self.ns(self.cal.t_miss_path);
+        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+        let t_arr = t_at_ca + self.ns(self.cal.t_l3_array);
+        let t_data = self.l3_port[slice.0 as usize].transfer(t_arr, 64);
+        let done = self.send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
+            + self.ns(self.cal.t_fill);
+        let out = AccessOutcome { done, source: DataSource::LocalL3 };
+        self.stats.tally_read(out.source);
+        Some(out)
+    }
+
+    /// Node-level read: consult the local caching agent.
+    fn read_via_ca(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        let node = self.topo.node_of_core(core);
+        let local = self.topo.node_local_core(core);
+        let slice = self.topo.slice_for_line(line, node);
+        let t_req = t + self.ns(self.cal.t_miss_path);
+        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+
+        let meta_snapshot = self.l3[slice.0 as usize].access(line).map(|m| *m);
+        self.log(t_at_ca, ProtoStep::CaLookup { slice, hit: meta_snapshot.is_some() });
+        match ca_local_action(ReqType::Read, meta_snapshot.as_ref(), local) {
+            CaAction::ServeFromL3 => {
+                let t_arr = t_at_ca + self.ns(self.cal.t_l3_array);
+                let t_data = self.l3_port[slice.0 as usize].transfer(t_arr, 64);
+                let done = self
+                    .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
+                    + self.ns(self.cal.t_fill);
+                let meta = self.l3[slice.0 as usize].peek_mut(line).expect("hit");
+                meta.add_core(local);
+                let core_state = if meta.cv == 1 << local
+                    && matches!(meta.state, MesifState::Exclusive | MesifState::Modified)
+                {
+                    CoreState::Exclusive
+                } else {
+                    CoreState::Shared
+                };
+                self.fill_private(core, line, core_state, done);
+                AccessOutcome { done, source: DataSource::LocalL3 }
+            }
+            CaAction::SnoopLocalCore { local_core } => {
+                self.local_core_snoop_read(core, line, t_at_ca, slice, node, local, local_core)
+            }
+            CaAction::Miss => self.node_miss_read(core, line, t_at_ca, slice, node, local),
+            other => unreachable!("read produced {other:?}"),
+        }
+    }
+
+    /// Local CA found a single possibly-newer copy in another core: probe
+    /// it; data comes from that core (M) or from the L3 (clean/evicted).
+    #[allow(clippy::too_many_arguments)]
+    fn local_core_snoop_read(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t_at_ca: SimTime,
+        slice: SliceId,
+        node: NodeId,
+        local: u8,
+        target_local: u8,
+    ) -> AccessOutcome {
+        self.stats.snoops_sent += 1;
+        let target = self.topo.cores_of_node(node)[target_local as usize];
+        let t_snp = t_at_ca + self.ns(self.cal.t_l3_tag);
+        let t_probe_at = self.send(t_snp, Endpoint::Slice(slice), Endpoint::Core(target), self.cal.msg_ctl);
+        let ti = target.0 as usize;
+
+        // Probe the target's private caches; the target core answers one
+        // probe at a time.
+        let in_l1 = self.l1[ti].peek(line).copied();
+        let in_l2 = self.l2[ti].peek(line).copied();
+        let (fwd, probe_ns, occ_ns) = match (in_l1, in_l2) {
+            (Some(CoreState::Modified), _) => (
+                true,
+                self.cal.t_probe + self.cal.t_probe_l1_fwd,
+                self.cal.t_fwd_occ_l1,
+            ),
+            (_, Some(CoreState::Modified)) => (
+                true,
+                self.cal.t_probe + self.cal.t_probe_l2_fwd,
+                self.cal.t_fwd_occ_l2,
+            ),
+            _ => (false, self.cal.t_probe, self.cal.t_fwd_occ_miss),
+        };
+        let t_serve = t_probe_at.max(self.fwd_busy[ti]);
+        self.fwd_busy[ti] = t_serve + self.ns(occ_ns);
+        let t_probe_done = t_serve + self.ns(probe_ns);
+        self.log(t_probe_done, ProtoStep::LocalCoreProbe { target, forwarded: fwd });
+
+        if fwd {
+            // Target demotes to Shared; data goes core→core.
+            if let Some(s) = self.l1[ti].peek_mut(line) {
+                *s = CoreState::Shared;
+            }
+            if let Some(s) = self.l2[ti].peek_mut(line) {
+                *s = CoreState::Shared;
+            }
+            let done = self
+                .send(t_probe_done, Endpoint::Core(target), Endpoint::Core(core), self.cal.msg_data)
+                + self.ns(self.cal.t_fill);
+            let meta = self.l3[slice.0 as usize].peek_mut(line).expect("inclusive");
+            meta.state = MesifState::Modified; // L3 absorbs the dirty data
+            meta.add_core(local);
+            self.fill_private(core, line, CoreState::Shared, done);
+            AccessOutcome { done, source: DataSource::LocalCore }
+        } else {
+            // Clean or silently evicted: L3 supplies data; the array read
+            // ran in parallel with the probe. A surviving clean copy in the
+            // probed core demotes E -> S on the data snoop.
+            for cache in [&mut self.l1[ti], &mut self.l2[ti]] {
+                if let Some(st) = cache.peek_mut(line) {
+                    if *st == CoreState::Exclusive {
+                        *st = CoreState::Shared;
+                    }
+                }
+            }
+            let t_resp_at_ca =
+                self.send(t_probe_done, Endpoint::Core(target), Endpoint::Slice(slice), self.cal.msg_ctl);
+            let t_arr = t_at_ca + self.ns(self.cal.t_l3_array);
+            let t_array = self.l3_port[slice.0 as usize].transfer(t_arr, 64);
+            let t_data = t_resp_at_ca.max(t_array);
+            let done = self
+                .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
+                + self.ns(self.cal.t_fill);
+            let meta = self.l3[slice.0 as usize].peek_mut(line).expect("inclusive");
+            meta.add_core(local);
+            self.fill_private(core, line, CoreState::Shared, done);
+            AccessOutcome { done, source: DataSource::LocalL3 }
+        }
+    }
+
+    /// Probe one peer node's caching agent with a data snoop.
+    fn probe_peer(
+        &mut self,
+        peer: NodeId,
+        line: LineAddr,
+        t_sent: SimTime,
+        from: Endpoint,
+        requester_core: CoreId,
+        ha: HaId,
+    ) -> PeerProbe {
+        self.stats.snoops_sent += 1;
+        self.log(t_sent, ProtoStep::SnoopPeer { node: peer });
+        let pslice = self.topo.slice_for_line(line, peer);
+        let t_at_peer = self.send(t_sent, from, Endpoint::Slice(pslice), self.cal.msg_ctl);
+        let t_lookup = t_at_peer + self.ns(self.cal.t_l3_tag);
+
+        let meta = self.l3[pslice.0 as usize].peek(line).copied();
+        let Some(mut m) = meta else {
+            let resp_at_ha =
+                self.send(t_lookup, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
+            return PeerProbe { resp_at_ha, forward: None, keeps_copy: false };
+        };
+
+        // Probe a possibly-newer core copy first (the remote 104/109/113 ns
+        // cases). The L3 array read runs in parallel with the core probe.
+        let mut source = DataSource::PeerL3(peer);
+        let mut probe_resp_at_ca: Option<SimTime> = None;
+        if let Some(target_local) = m.snoop_probe_target() {
+            let target = self.topo.cores_of_node(peer)[target_local as usize];
+            let t_probe_at =
+                self.send(t_lookup, Endpoint::Slice(pslice), Endpoint::Core(target), self.cal.msg_ctl);
+            let ti = target.0 as usize;
+            let in_l1 = self.l1[ti].peek(line).copied();
+            let in_l2 = self.l2[ti].peek(line).copied();
+            let (from_core, probe_ns, occ_ns) = match (in_l1, in_l2) {
+                (Some(CoreState::Modified), _) => (
+                    true,
+                    self.cal.t_probe + self.cal.t_probe_l1_fwd,
+                    self.cal.t_fwd_occ_l1,
+                ),
+                (_, Some(CoreState::Modified)) => (
+                    true,
+                    self.cal.t_probe + self.cal.t_probe_l2_fwd,
+                    self.cal.t_fwd_occ_l2,
+                ),
+                _ => (false, self.cal.t_probe, self.cal.t_fwd_occ_miss),
+            };
+            let t_serve = t_probe_at.max(self.fwd_busy[ti]);
+            self.fwd_busy[ti] = t_serve + self.ns(occ_ns);
+            let t_probe_done = t_serve + self.ns(probe_ns);
+            self.log(t_probe_done, ProtoStep::PeerCoreProbe { node: peer, target, forwarded: from_core });
+            if from_core {
+                source = DataSource::PeerCore(peer);
+                if let Some(s) = self.l1[ti].peek_mut(line) {
+                    *s = CoreState::Shared;
+                }
+                if let Some(s) = self.l2[ti].peek_mut(line) {
+                    *s = CoreState::Shared;
+                }
+                // Data is forwarded straight from the probed core.
+                let dirty_wb = m.state.is_dirty() || from_core;
+                let t_fwd = t_probe_done + self.ns(self.cal.t_ca_fwd);
+                let data_at = self
+                    .send(t_fwd, Endpoint::Core(target), Endpoint::Core(requester_core), self.cal.msg_data)
+                    + self.ns(self.cal.t_fill);
+                let resp_at_ha =
+                    self.send(t_probe_done, Endpoint::Core(target), Endpoint::Ha(ha), self.cal.msg_ctl);
+                // Node demotes to Shared; dirty data also goes home.
+                m.state = MesifState::Shared;
+                if dirty_wb {
+                    self.mem[ha.0 as usize].access(resp_at_ha, line, true);
+                    self.stats.dram_writebacks += 1;
+                }
+                *self.l3[pslice.0 as usize].peek_mut(line).expect("present") = m;
+                self.log(data_at, ProtoStep::PeerForward { node: peer, from_core: true });
+                return PeerProbe { resp_at_ha, forward: Some((data_at, source)), keeps_copy: true };
+            }
+            // Core had silently evicted or was clean: the L3 data (read in
+            // parallel) can go out once the probe response returns. A
+            // surviving clean copy demotes E -> S on the data snoop.
+            for cache in [&mut self.l1[ti], &mut self.l2[ti]] {
+                if let Some(st) = cache.peek_mut(line) {
+                    if *st == CoreState::Exclusive {
+                        *st = CoreState::Shared;
+                    }
+                }
+            }
+            probe_resp_at_ca = Some(self.send(
+                t_probe_done,
+                Endpoint::Core(target),
+                Endpoint::Slice(pslice),
+                self.cal.msg_ctl,
+            ));
+        }
+
+        if m.state.can_forward() {
+            let dirty = m.state.is_dirty();
+            let t_arr = t_lookup + self.ns(self.cal.t_l3_array);
+            let mut t_data = self.l3_port[pslice.0 as usize].transfer(t_arr, 64);
+            if let Some(resp) = probe_resp_at_ca {
+                t_data = t_data.max(resp);
+            }
+            t_data += self.ns(self.cal.t_ca_fwd);
+            let data_at = self
+                .send(t_data, Endpoint::Slice(pslice), Endpoint::Core(requester_core), self.cal.msg_data)
+                + self.ns(self.cal.t_fill);
+            let resp_at_ha =
+                self.send(t_data, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
+            m.state = m.state.after_forwarding_read();
+            if dirty {
+                self.mem[ha.0 as usize].access(resp_at_ha, line, true);
+                self.stats.dram_writebacks += 1;
+            }
+            *self.l3[pslice.0 as usize].peek_mut(line).expect("present") = m;
+            self.log(data_at, ProtoStep::PeerForward { node: peer, from_core: false });
+            PeerProbe { resp_at_ha, forward: Some((data_at, source)), keeps_copy: true }
+        } else {
+            // Shared copy: cannot forward; just acknowledge.
+            let t_ack = probe_resp_at_ca.map_or(t_lookup, |r| r.max(t_lookup));
+            let resp_at_ha =
+                self.send(t_ack, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
+            PeerProbe { resp_at_ha, forward: None, keeps_copy: m.state.is_valid() }
+        }
+    }
+
+    /// Full node-level read miss: source or home snooping, directory,
+    /// HitME, memory.
+    #[allow(clippy::too_many_arguments)]
+    fn node_miss_read(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t_at_ca: SimTime,
+        slice: SliceId,
+        node: NodeId,
+        local: u8,
+    ) -> AccessOutcome {
+        let home = self.topo.home_node_of_line(line);
+        let ha = self.topo.ha_for_line(line);
+        let t_miss = t_at_ca + self.ns(self.cal.t_l3_tag);
+        let all = self.all_nodes();
+
+        let mut probes: Vec<PeerProbe> = Vec::new();
+
+        // Source snooping: the CA broadcasts to every other node now.
+        if self.proto.mode == SnoopMode::Source {
+            for peer in all.without(node).iter() {
+                let p = self.probe_peer(peer, line, t_miss, Endpoint::Slice(slice), core, ha);
+                probes.push(p);
+            }
+        }
+
+        // Request travels to the home agent; tracker admission control.
+        self.log(t_miss, ProtoStep::HomeRequest { ha });
+        let req_at_ha = self.send(t_miss, Endpoint::Slice(slice), Endpoint::Ha(ha), self.cal.msg_ctl);
+        // Which tracker pool: COD partitions by cluster, the two-socket
+        // modes by socket (QPI RTID preallocation).
+        let remote_req = if self.proto.directory {
+            node != home
+        } else {
+            self.topo.socket_of_node(node) != self.topo.socket_of_node(home)
+        };
+        let pool = &mut self.trackers[ha.0 as usize][remote_req as usize];
+        let t_admitted = pool.wait_for_slot(req_at_ha);
+        let t_arrival = t_admitted + self.ns(self.cal.t_ha);
+
+        // HitME lookup (COD).
+        let hitme_hit = if self.proto.hitme {
+            let h = self.hitme[ha.0 as usize]
+                .lookup(line)
+                .map(|e| (e.nodes, e.clean));
+            self.log(t_arrival, ProtoStep::HitMeLookup { hit: h.is_some(), clean: h.map(|(_, c)| c) });
+            h
+        } else {
+            None
+        };
+        let plan = ha_read_arrival_plan(self.proto, hitme_hit, node, home, all);
+
+        // Speculative memory read (directory bits piggyback on it).
+        let (dev_done, _outcome) = self.mem[ha.0 as usize].access(t_arrival, line, false);
+        let dram_done = dev_done + self.ns(self.cal.t_mem_ctl);
+
+        // Home-snoop-mode probes issued by the HA.
+        let mut broadcast_snooped = false;
+        if self.proto.mode == SnoopMode::Home {
+            // The local CA probe is a plain ring message; the snoop-issue
+            // delay models QPI-bound snoop broadcast arbitration only.
+            let t_issue = t_arrival + self.ns(self.cal.t_home_snoop_issue);
+            if plan.probe_home_ca {
+                let p = self.probe_peer(home, line, t_arrival, Endpoint::Ha(ha), core, ha);
+                probes.push(p);
+            }
+            for peer in plan.snoops.iter() {
+                broadcast_snooped = true;
+                let p = self.probe_peer(peer, line, t_issue, Endpoint::Ha(ha), core, ha);
+                probes.push(p);
+            }
+        }
+
+        // Directory phase (HitME miss in COD).
+        let mut memory_reply_ok = plan.memory_reply_ok;
+        let mut dir_prev = DirState::RemoteInvalid;
+        if self.proto.directory {
+            dir_prev = self.dir[ha.0 as usize].get(line);
+        }
+        if plan.need_dir {
+            self.log(dram_done, ProtoStep::DirectoryRead { state: dir_prev });
+            let dplan = ha_read_dir_plan(dir_prev, node, home, all);
+            memory_reply_ok = dplan.memory_reply_ok;
+            if !dplan.snoops.is_empty() {
+                self.stats.dir_broadcasts += 1;
+                for peer in dplan.snoops.iter() {
+                    broadcast_snooped = true;
+                    // Broadcast can only start once the directory (with the
+                    // data) has been read.
+                    let t_issue = dram_done + self.ns(self.cal.t_home_snoop_issue);
+                    let p = self.probe_peer(peer, line, t_issue, Endpoint::Ha(ha), core, ha);
+                    probes.push(p);
+                }
+            }
+        }
+
+        // Resolve: earliest cache forward wins; otherwise memory.
+        let forward = probes
+            .iter()
+            .filter_map(|p| p.forward)
+            .min_by_key(|&(t, _)| t);
+        let last_resp = probes
+            .iter()
+            .map(|p| p.resp_at_ha)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let copies_remain = probes.iter().any(|p| p.keeps_copy);
+
+        let (done, source) = match forward {
+            Some((t_data, src)) => {
+                self.stats.remote_cache_fwd += 1;
+                (t_data, src)
+            }
+            None => {
+                let t_mem_ready = if memory_reply_ok {
+                    dram_done
+                } else {
+                    dram_done.max(last_resp)
+                };
+                let done = self
+                    .send(t_mem_ready, Endpoint::Ha(ha), Endpoint::Core(core), self.cal.msg_data)
+                    + self.ns(self.cal.t_fill);
+                if copies_remain {
+                    self.stats.remote_dram_fwd += 1;
+                }
+                self.log(t_mem_ready, ProtoStep::MemoryReply);
+                (done, DataSource::Memory(home))
+            }
+        };
+
+        // Tracker slot held until the HA is done with the transaction.
+        let ha_done = done.max(last_resp).max(dram_done);
+        self.trackers[ha.0 as usize][remote_req as usize].occupy_until(ha_done);
+
+        // --- state updates ---
+        // Sharers may exist beyond what the probes saw: a shared-clean
+        // HitME hit or a `Shared` in-memory directory proves remote copies
+        // without snooping them.
+        let other_sharers = copies_remain
+            || matches!(hitme_hit, Some((_, true)))
+            || (self.proto.directory && dir_prev == DirState::Shared);
+        let granted = fill_state_after_read(source, other_sharers);
+        self.install_l3(node, line, L3Meta::filled_by(granted, local), done);
+        let core_state = if granted == MesifState::Exclusive {
+            CoreState::Exclusive
+        } else {
+            CoreState::Shared
+        };
+        self.fill_private(core, line, core_state, done);
+
+        if self.proto.directory {
+            let forwarder_node = match source {
+                DataSource::PeerL3(n) | DataSource::PeerCore(n) => Some(n),
+                _ => None,
+            };
+            let mut hitme_live = false;
+            if self.proto.hitme {
+                let snooped = broadcast_snooped
+                    || forwarder_node.is_some()
+                    || hitme_hit.is_some();
+                if HitMeCache::should_allocate(node, home, forwarder_node, snooped) {
+                    let mut nodes = NodeSet::only(node);
+                    if let Some(f) = forwarder_node {
+                        nodes.insert(f);
+                    }
+                    nodes.insert(home);
+                    self.hitme[ha.0 as usize]
+                        .allocate(line, HitMeEntry { nodes, clean: true });
+                    hitme_live = true;
+                } else if hitme_hit.is_some() {
+                    self.hitme[ha.0 as usize].update(line, |e| {
+                        e.nodes.insert(node);
+                        e.clean = true;
+                    });
+                    hitme_live = true;
+                }
+            }
+            let next = dir_after_read(dir_prev, node, home, granted, other_sharers, hitme_live);
+            self.dir[ha.0 as usize].set(line, next);
+        }
+
+        AccessOutcome { done, source }
+    }
+
+    // ------------------------------------------------------------------
+    // writes (stores / RFO)
+    // ------------------------------------------------------------------
+
+    /// Simulate a store by `core` to `line` issued at `t`.
+    pub fn write(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        let ci = core.0 as usize;
+        if let Some(st) = self.l1[ci].access(line) {
+            if st.can_write() {
+                *st = CoreState::Modified;
+                if let Some(s2) = self.l2[ci].peek_mut(line) {
+                    *s2 = CoreState::Modified;
+                }
+                return AccessOutcome { done: t + self.ns(self.cal.t_l1), source: DataSource::SelfL1 };
+            }
+        } else if let Some(st) = self.l2[ci].access(line) {
+            if st.can_write() {
+                *st = CoreState::Modified;
+                self.fill_private(core, line, CoreState::Modified, t);
+                return AccessOutcome { done: t + self.ns(self.cal.t_l2), source: DataSource::SelfL2 };
+            }
+        }
+        // Shared hit or miss: needs ownership via the CA.
+        self.stats.rfos += 1;
+        self.rfo_via_ca(core, line, t)
+    }
+
+    fn rfo_via_ca(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        let node = self.topo.node_of_core(core);
+        let local = self.topo.node_local_core(core);
+        let slice = self.topo.slice_for_line(line, node);
+        let t_req = t + self.ns(self.cal.t_miss_path);
+        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+
+        let meta_snapshot = self.l3[slice.0 as usize].access(line).map(|m| *m);
+        match ca_local_action(ReqType::Rfo, meta_snapshot.as_ref(), local) {
+            CaAction::RfoHitOwned { invalidate_cv } => {
+                let mut t_ready = t_at_ca + self.ns(self.cal.t_l3_array);
+                if invalidate_cv != 0 {
+                    t_ready = self.invalidate_local_cores(node, line, invalidate_cv, t_at_ca, slice);
+                }
+                let t_data = self.l3_port[slice.0 as usize].transfer(t_ready, 64);
+                let done = self
+                    .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
+                    + self.ns(self.cal.t_fill);
+                let meta = self.l3[slice.0 as usize].peek_mut(line).expect("hit");
+                meta.state = MesifState::Modified;
+                meta.cv = 1 << local;
+                self.fill_private(core, line, CoreState::Modified, done);
+                AccessOutcome { done, source: DataSource::LocalL3 }
+            }
+            CaAction::UpgradeNeeded { invalidate_cv } => {
+                // Invalidate local sharers, then obtain global ownership.
+                let t_local = if invalidate_cv != 0 {
+                    self.invalidate_local_cores(node, line, invalidate_cv, t_at_ca, slice)
+                } else {
+                    t_at_ca + self.ns(self.cal.t_l3_tag)
+                };
+                let done = self.global_invalidate(core, line, t_local, slice, node, false);
+                let meta = self.l3[slice.0 as usize].peek_mut(line).expect("hit");
+                meta.state = MesifState::Modified;
+                meta.cv = 1 << local;
+                self.fill_private(core, line, CoreState::Modified, done);
+                // Ownership changed hands: the home's directory state and
+                // any HitME entry must reflect the new single dirty owner.
+                if self.proto.directory {
+                    let ha = self.topo.ha_for_line(line);
+                    let home = self.topo.home_node_of_line(line);
+                    self.dir[ha.0 as usize].set(line, dir_after_rfo(node, home));
+                    if self.proto.hitme {
+                        if node == home {
+                            self.hitme[ha.0 as usize].invalidate(line);
+                        } else {
+                            self.hitme[ha.0 as usize].update(line, |e| {
+                                e.nodes = NodeSet::only(node);
+                                e.clean = false;
+                            });
+                        }
+                    }
+                }
+                AccessOutcome { done, source: DataSource::LocalL3 }
+            }
+            CaAction::Miss => {
+                // Full RFO: fetch data with ownership.
+                let out = self.node_miss_read(core, line, t_at_ca, slice, node, local);
+                // Convert the grant into ownership: invalidate any copies
+                // that survived the read portion.
+                let done = self.global_invalidate(core, line, out.done, slice, node, true);
+                let meta_slice = self.topo.slice_for_line(line, node);
+                if let Some(meta) = self.l3[meta_slice.0 as usize].peek_mut(line) {
+                    meta.state = MesifState::Modified;
+                    meta.cv = 1 << local;
+                }
+                let ci = core.0 as usize;
+                if let Some(s) = self.l1[ci].peek_mut(line) {
+                    *s = CoreState::Modified;
+                }
+                if let Some(s) = self.l2[ci].peek_mut(line) {
+                    *s = CoreState::Modified;
+                }
+                if self.proto.directory {
+                    let ha = self.topo.ha_for_line(line);
+                    let home = self.topo.home_node_of_line(line);
+                    self.dir[ha.0 as usize].set(line, dir_after_rfo(node, home));
+                    if self.proto.hitme && node != home {
+                        self.hitme[ha.0 as usize].update(line, |e| {
+                            e.nodes = NodeSet::only(node);
+                            e.clean = false;
+                        });
+                    }
+                }
+                AccessOutcome { done, source: out.source }
+            }
+            other => unreachable!("rfo produced {other:?}"),
+        }
+    }
+
+    /// Invalidate the given node-local core copies; returns when the last
+    /// acknowledgment reaches the CA.
+    fn invalidate_local_cores(
+        &mut self,
+        node: NodeId,
+        line: LineAddr,
+        cv: u32,
+        t: SimTime,
+        slice: SliceId,
+    ) -> SimTime {
+        let cores = self.topo.cores_of_node(node);
+        let mut last = t;
+        for (i, &c) in cores.iter().enumerate() {
+            if cv & (1 << i) != 0 {
+                self.stats.snoops_sent += 1;
+                let t_at = self.send(t, Endpoint::Slice(slice), Endpoint::Core(c), self.cal.msg_ctl);
+                let ci = c.0 as usize;
+                self.l1[ci].remove(line);
+                self.l2[ci].remove(line);
+                let t_ack = self.send(
+                    t_at + self.ns(self.cal.t_probe),
+                    Endpoint::Core(c),
+                    Endpoint::Slice(slice),
+                    self.cal.msg_ctl,
+                );
+                last = last.max(t_ack);
+                if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
+                    meta.clear_core(i as u8);
+                }
+            }
+        }
+        last
+    }
+
+    /// Invalidate every other node's copies of `line` (ownership/flush
+    /// path). Returns completion time at the requesting core's CA.
+    ///
+    /// `after_data`: the invalidations piggyback on an RFO whose data phase
+    /// already ran; peers that forwarded have demoted and only Shared
+    /// stragglers need killing.
+    fn global_invalidate(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+        slice: SliceId,
+        node: NodeId,
+        after_data: bool,
+    ) -> SimTime {
+        let _ = after_data;
+        let all = self.all_nodes();
+        let mut last = t;
+        for peer in all.without(node).iter() {
+            let pslice = self.topo.slice_for_line(line, peer);
+            let has_copy = self.l3[pslice.0 as usize].contains(line);
+            if !has_copy {
+                continue;
+            }
+            self.stats.snoops_sent += 1;
+            let t_at = self.send(t, Endpoint::Slice(slice), Endpoint::Slice(pslice), self.cal.msg_ctl);
+            // Remove peer L3 + core copies.
+            if let Some(meta) = self.l3[pslice.0 as usize].remove(line) {
+                let cores = self.topo.cores_of_node(peer);
+                for (i, &c) in cores.iter().enumerate() {
+                    if meta.cv & (1 << i) != 0 {
+                        self.l1[c.0 as usize].remove(line);
+                        self.l2[c.0 as usize].remove(line);
+                    }
+                }
+                if meta.state.is_dirty() {
+                    let ha = self.topo.ha_for_line(line);
+                    self.mem[ha.0 as usize].access(t_at, line, true);
+                    self.stats.dram_writebacks += 1;
+                }
+            }
+            let t_ack = self.send(
+                t_at + self.ns(self.cal.t_l3_tag),
+                Endpoint::Slice(pslice),
+                Endpoint::Slice(slice),
+                self.cal.msg_ctl,
+            );
+            last = last.max(t_ack);
+        }
+        let _ = core;
+        last
+    }
+
+    /// Simulate a non-temporal (streaming) store by `core` to `line`.
+    ///
+    /// `movnt*` stores bypass the cache hierarchy: the line is written
+    /// through a write-combining buffer straight to the home memory, and
+    /// any cached copies are invalidated. No read-for-ownership happens,
+    /// so streaming writes cost one DRAM transfer instead of two — the
+    /// classic STREAM-benchmark optimization.
+    pub fn write_nt(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        let ci = core.0 as usize;
+        // Drop any local copies (an NT store to cached data invalidates it).
+        self.l1[ci].remove(line);
+        self.l2[ci].remove(line);
+        let node = self.topo.node_of_core(core);
+        let slice = self.topo.slice_for_line(line, node);
+        // Invalidate other cached copies if the line is resident anywhere.
+        let mut t_wc = t + self.ns(self.cal.t_fill);
+        if self.l3[slice.0 as usize].contains(line) {
+            let meta = *self.l3[slice.0 as usize].peek(line).expect("checked");
+            let cv = meta.cv & !(1u32 << self.topo.node_local_core(core));
+            if cv != 0 {
+                t_wc = self.invalidate_local_cores(node, line, cv, t_wc, slice);
+            }
+            self.l3[slice.0 as usize].remove(line);
+        }
+        self.global_invalidate(core, line, t_wc, slice, node, false);
+        // The store retires once a write-combining buffer accepts the
+        // data; the buffer is held until the line drains to the home
+        // memory, which is the back-pressure that bounds NT bandwidth to
+        // the DRAM drain rate.
+        let t_accept = self.wc_buf[ci].wait_for_slot(t_wc);
+        let ha = self.topo.ha_for_line(line);
+        let t_at_ha = self.send(t_accept, Endpoint::Core(core), Endpoint::Ha(ha), self.cal.msg_data);
+        let t_mem = t_at_ha + self.ns(self.cal.t_ha);
+        let (drained, _) = self.mem[ha.0 as usize].access(t_mem, line, true);
+        self.wc_buf[ci].occupy_until(drained);
+        self.stats.dram_writebacks += 1;
+        if self.proto.directory {
+            self.dir[ha.0 as usize].set(line, DirState::RemoteInvalid);
+            self.hitme[ha.0 as usize].invalidate(line);
+        }
+        AccessOutcome {
+            done: t_accept + self.ns(self.cal.t_fill),
+            source: DataSource::Memory(self.topo.home_node_of_line(line)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // flush (clflush)
+    // ------------------------------------------------------------------
+
+    /// Simulate `clflush` by `core` of `line`: evict the line from every
+    /// cache in the system and write dirty data back to the home memory.
+    /// Returns the completion time.
+    pub fn flush(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> SimTime {
+        let node = self.topo.node_of_core(core);
+        let slice = self.topo.slice_for_line(line, node);
+        let ci = core.0 as usize;
+        let own_dirty = matches!(self.l1[ci].remove(line), Some(CoreState::Modified))
+            | matches!(self.l2[ci].remove(line), Some(CoreState::Modified));
+
+        let t_req = t + self.ns(self.cal.t_miss_path);
+        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+        let local = self.topo.node_local_core(core);
+
+        let mut t_done = t_at_ca + self.ns(self.cal.t_l3_tag);
+        let mut dirty = own_dirty;
+        if let Some(meta) = self.l3[slice.0 as usize].remove(line) {
+            // Invalidate other local cores.
+            let cv = meta.cv & !(1u32 << local);
+            if cv != 0 {
+                // Re-insert briefly so the helper can clear bits, then drop.
+                self.l3[slice.0 as usize].insert(line, meta);
+                t_done = self.invalidate_local_cores(node, line, cv, t_at_ca, slice);
+                self.l3[slice.0 as usize].remove(line);
+            }
+            dirty |= meta.state.is_dirty();
+        }
+        // Kill copies in other nodes.
+        t_done = self.global_invalidate(core, line, t_done, slice, node, false);
+
+        // Write back + directory reset at home.
+        let ha = self.topo.ha_for_line(line);
+        let t_at_ha = self.send(t_done, Endpoint::Slice(slice), Endpoint::Ha(ha), self.cal.msg_ctl);
+        let mut t_home_done = t_at_ha + self.ns(self.cal.t_ha);
+        if dirty {
+            let (dev_done, _) = self.mem[ha.0 as usize].access(t_home_done, line, true);
+            self.stats.dram_writebacks += 1;
+            t_home_done = dev_done;
+        }
+        if self.proto.directory {
+            self.dir[ha.0 as usize].set(line, DirState::RemoteInvalid);
+            self.hitme[ha.0 as usize].invalidate(line);
+        }
+        self.send(t_home_done, Endpoint::Ha(ha), Endpoint::Core(core), self.cal.msg_ctl)
+    }
+
+    // ------------------------------------------------------------------
+    // placement helpers (simulate the paper's controlled evictions)
+    // ------------------------------------------------------------------
+
+    /// Evict `line` from `core`'s L1 (into L2 if dirty); models the
+    /// paper's "flush higher levels into the target level" technique.
+    pub fn demote_to_l2(&mut self, core: CoreId, line: LineAddr) {
+        let ci = core.0 as usize;
+        if let Some(st) = self.l1[ci].remove(line) {
+            if st == CoreState::Modified {
+                if let Some(s2) = self.l2[ci].peek_mut(line) {
+                    *s2 = CoreState::Modified;
+                }
+            }
+        }
+    }
+
+    /// Evict `line` from `core`'s L1+L2 into the node's L3. Dirty data is
+    /// written back (clearing the CV bit); clean data leaves silently
+    /// (leaving the CV bit stale — exactly like real silent evictions).
+    pub fn demote_to_l3(&mut self, core: CoreId, line: LineAddr, t: SimTime) {
+        let ci = core.0 as usize;
+        let d1 = matches!(self.l1[ci].remove(line), Some(CoreState::Modified));
+        let d2 = matches!(self.l2[ci].remove(line), Some(CoreState::Modified));
+        if d1 || d2 {
+            self.writeback_to_l3(core, line, t);
+        }
+    }
+
+    /// Evict `line` from the node's L3 out to memory (plus back-invalidate
+    /// core copies), as a capacity eviction would: dirty data is written
+    /// back and resets the directory; clean data evicts silently, leaving
+    /// directory/HitME state stale.
+    pub fn demote_to_memory(&mut self, node: NodeId, line: LineAddr, t: SimTime) {
+        let slice = self.topo.slice_for_line(line, node);
+        if let Some(meta) = self.l3[slice.0 as usize].remove(line) {
+            self.evict_l3_victim(node, line, meta, t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // introspection (tests and experiment assertions)
+    // ------------------------------------------------------------------
+
+    /// Core-private L1 state of a line.
+    pub fn l1_state(&self, core: CoreId, line: LineAddr) -> CoreState {
+        self.l1[core.0 as usize].peek(line).copied().unwrap_or(CoreState::Invalid)
+    }
+
+    /// Core-private L2 state of a line.
+    pub fn l2_state(&self, core: CoreId, line: LineAddr) -> CoreState {
+        self.l2[core.0 as usize].peek(line).copied().unwrap_or(CoreState::Invalid)
+    }
+
+    /// L3 metadata for a line within `node`.
+    pub fn l3_meta(&self, node: NodeId, line: LineAddr) -> Option<L3Meta> {
+        let slice = self.topo.slice_for_line(line, node);
+        self.l3[slice.0 as usize].peek(line).copied()
+    }
+
+    /// In-memory directory state for a line (directory modes).
+    pub fn dir_state(&self, line: LineAddr) -> DirState {
+        let ha = self.topo.ha_for_line(line);
+        self.dir[ha.0 as usize].peek(line)
+    }
+
+    /// HitME statistics for the HA owning `line`.
+    pub fn hitme_stats(&self, ha: HaId) -> (u64, u64) {
+        (self.hitme[ha.0 as usize].hits, self.hitme[ha.0 as usize].misses)
+    }
+
+    /// Debug summary of one HA's DRAM controller.
+    pub fn mem_stats(&self, ha: usize) -> String {
+        let mc = &self.mem[ha];
+        let mut out = String::new();
+        for (i, c) in mc.channels().iter().enumerate() {
+            out.push_str(&format!(
+                "ch{i}: r={} w={} hit={} closed={} conf={} bytes={} ",
+                c.reads, c.writes, c.hits, c.closed, c.conflicts, c.total_bytes()
+            ));
+        }
+        out
+    }
+
+    /// Total bytes serialized onto QPI links, per ordered socket pair.
+    pub fn qpi_bytes(&self) -> Vec<((u8, u8), u64)> {
+        let n = self.cfg.sockets;
+        let mut v = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    let idx = a as usize * n as usize + b as usize;
+                    v.push(((a, b), self.qpi[idx].total_bytes()));
+                }
+            }
+        }
+        v
+    }
+
+    /// Aggregate DRAM row-hit rate across all controllers.
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let mut h = 0.0;
+        let mut n = 0;
+        for m in &self.mem {
+            h += m.row_hit_rate();
+            n += 1;
+        }
+        h / n as f64
+    }
+
+    /// Reset event counters (cache/directory state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+}

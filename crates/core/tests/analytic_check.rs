@@ -1,0 +1,89 @@
+//! Differential testing: the discrete-event transaction walks must agree
+//! with the independent closed-form model on idle systems.
+
+use hswx_engine::SimTime;
+use hswx_haswell::analytic::Analytic;
+use hswx_haswell::microbench::{pointer_chase, Buffer};
+use hswx_haswell::placement::{Level, Placement};
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, NodeId};
+use hswx_topology::SystemTopology;
+
+fn des_l3(mode: CoherenceMode, placer: CoreId, measurer: CoreId) -> f64 {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let home = sys.topo.node_of_core(placer);
+    let buf = Buffer::on_node(&sys, home, 1 << 20, 0);
+    let t = Placement::exclusive(&mut sys, placer, &buf.lines, Level::L3, SimTime::ZERO);
+    pointer_chase(&mut sys, measurer, &buf.lines, t, 5).ns_per_access
+}
+
+fn model(mode: CoherenceMode) -> (SystemTopology, hswx_haswell::Calib) {
+    let cfg = SystemConfig::e5_2680_v3(mode);
+    (
+        SystemTopology::new(cfg.sockets, cfg.die, cfg.mode.cod()),
+        cfg.calib,
+    )
+}
+
+#[test]
+fn des_matches_analytic_l3_hit() {
+    for mode in [CoherenceMode::SourceSnoop, CoherenceMode::ClusterOnDie] {
+        let (topo, cal) = model(mode);
+        let a = Analytic::new(&topo, &cal);
+        let want = a.l3_hit(CoreId(0));
+        let got = des_l3(mode, CoreId(0), CoreId(0));
+        assert!(
+            (got - want).abs() < 1.0,
+            "{mode:?}: DES {got:.2} vs analytic {want:.2}"
+        );
+    }
+}
+
+#[test]
+fn des_matches_analytic_stale_cv_snoop() {
+    let (topo, cal) = model(CoherenceMode::SourceSnoop);
+    let a = Analytic::new(&topo, &cal);
+    let want = a.l3_hit_stale_cv(CoreId(0), CoreId(1));
+    let got = des_l3(CoherenceMode::SourceSnoop, CoreId(1), CoreId(0));
+    assert!(
+        (got - want).abs() < 1.5,
+        "DES {got:.2} vs analytic {want:.2}"
+    );
+}
+
+#[test]
+fn des_matches_analytic_remote_forward() {
+    let (topo, cal) = model(CoherenceMode::SourceSnoop);
+    let a = Analytic::new(&topo, &cal);
+    let want = a.remote_l3_forward(CoreId(0), NodeId(1));
+    // Modified-in-remote-L3: forwarded without a core probe.
+    let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+    let buf = Buffer::on_node(&sys, NodeId(1), 1 << 20, 0);
+    let t = Placement::modified(&mut sys, CoreId(12), &buf.lines, Level::L3, SimTime::ZERO);
+    let got = pointer_chase(&mut sys, CoreId(0), &buf.lines, t, 5).ns_per_access;
+    assert!(
+        (got - want).abs() < 2.0,
+        "DES {got:.2} vs analytic {want:.2}"
+    );
+}
+
+#[test]
+fn des_matches_analytic_local_memory() {
+    let (topo, cal) = model(CoherenceMode::SourceSnoop);
+    let a = Analytic::new(&topo, &cal);
+    // The chase's spread lines mostly hit row *conflicts* (rows left open
+    // by the placement writes): tRP + tRCD + tCAS + burst.
+    let d = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop).dram;
+    let device = d.t_rp + d.t_rcd + d.t_cas + d.t_burst;
+    let want = a.local_memory(CoreId(0), device);
+    let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+    let buf = Buffer::on_node(&sys, NodeId(0), 64 << 20, 0);
+    let t = Placement::exclusive(&mut sys, CoreId(0), &buf.lines, Level::Memory, SimTime::ZERO);
+    let got = pointer_chase(&mut sys, CoreId(0), &buf.lines, t, 5).ns_per_access;
+    // The chase mixes row hits/conflicts around the closed-row estimate;
+    // allow a wider band but require agreement within ~8%.
+    assert!(
+        (got - want).abs() / want < 0.08,
+        "DES {got:.2} vs analytic {want:.2}"
+    );
+}

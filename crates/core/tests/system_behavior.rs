@@ -1,0 +1,245 @@
+//! Deeper system-level behaviour tests for `hswx-haswell`: transaction
+//! sources, directory evolution, config knobs, and resource accounting.
+
+use hswx_coherence::{CoreState, DataSource, DirState, MesifState};
+use hswx_engine::SimTime;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr, NodeId};
+
+fn sys(mode: CoherenceMode) -> System {
+    System::new(SystemConfig::e5_2680_v3(mode))
+}
+
+fn line_on(s: &System, node: u8, idx: u64) -> LineAddr {
+    LineAddr(s.topo.numa_base(NodeId(node)).line().0 + idx)
+}
+
+#[test]
+fn cold_read_fills_exclusive_everywhere() {
+    for mode in CoherenceMode::all() {
+        let mut s = sys(mode);
+        let l = line_on(&s, 0, 0);
+        let out = s.read(CoreId(0), l, SimTime::ZERO);
+        assert_eq!(out.source, DataSource::Memory(NodeId(0)), "{mode:?}");
+        assert_eq!(s.l1_state(CoreId(0), l), CoreState::Exclusive);
+        let meta = s.l3_meta(NodeId(0), l).unwrap();
+        assert_eq!(meta.state, MesifState::Exclusive);
+    }
+}
+
+#[test]
+fn second_local_reader_is_served_by_l3_with_core_snoop() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let l = line_on(&s, 0, 0);
+    let t = s.read(CoreId(1), l, SimTime::ZERO).done;
+    let out = s.read(CoreId(0), l, t);
+    // Clean line: L3 supplies data (after probing core 1).
+    assert_eq!(out.source, DataSource::LocalL3);
+    assert_eq!(s.l1_state(CoreId(1), l), CoreState::Shared, "probed copy demotes");
+    let meta = s.l3_meta(NodeId(0), l).unwrap();
+    assert_eq!(meta.cv.count_ones(), 2);
+}
+
+#[test]
+fn cross_socket_read_of_exclusive_grants_forward() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let l = line_on(&s, 0, 0);
+    let t = s.read(CoreId(0), l, SimTime::ZERO).done;
+    let out = s.read(CoreId(12), l, t);
+    assert_eq!(out.source, DataSource::PeerL3(NodeId(0)));
+    assert_eq!(s.l3_meta(NodeId(1), l).unwrap().state, MesifState::Forward);
+    assert_eq!(s.l3_meta(NodeId(0), l).unwrap().state, MesifState::Shared);
+}
+
+#[test]
+fn cod_directory_tracks_remote_exclusive_grant() {
+    let mut s = sys(CoherenceMode::ClusterOnDie);
+    let l = line_on(&s, 0, 0);
+    // Home-node read leaves the directory remote-invalid …
+    let t = s.read(CoreId(0), l, SimTime::ZERO).done;
+    assert_eq!(s.dir_state(l), DirState::RemoteInvalid);
+    // … a remote E-grant flips it to snoop-all.
+    let l2 = line_on(&s, 0, 1);
+    s.read(CoreId(12), l2, t);
+    assert_eq!(s.dir_state(l2), DirState::SnoopAll);
+}
+
+#[test]
+fn dirty_l3_eviction_resets_directory() {
+    let mut s = sys(CoherenceMode::ClusterOnDie);
+    let l = line_on(&s, 0, 0);
+    let home_core = s.topo.cores_of_node(NodeId(0))[0];
+    let t = s.write(home_core, l, SimTime::ZERO).done;
+    // Remote node takes the dirty line.
+    let remote = s.topo.cores_of_node(NodeId(2))[0];
+    let t = s.read(remote, l, t).done;
+    assert_ne!(s.dir_state(l), DirState::RemoteInvalid);
+    // Evict the remote copy: clean (it was forwarded as F after the
+    // writeback), so the directory stays stale …
+    s.demote_to_memory(NodeId(2), l, t);
+    assert_ne!(s.dir_state(l), DirState::RemoteInvalid, "silent clean eviction");
+}
+
+#[test]
+fn flush_latency_exceeds_write_latency() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let l = line_on(&s, 0, 0);
+    let w = s.write(CoreId(0), l, SimTime::ZERO);
+    let t_flush = s.flush(CoreId(0), l, w.done);
+    assert!(
+        t_flush.since(w.done).as_ns() > 40.0,
+        "clflush must reach memory: {}",
+        t_flush.since(w.done).as_ns()
+    );
+}
+
+#[test]
+fn stats_count_every_access_class() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let l = line_on(&s, 0, 0);
+    let t = s.read(CoreId(0), l, SimTime::ZERO).done; // memory
+    let t = s.read(CoreId(0), l, t).done; // L1 hit
+    let t = s.read(CoreId(1), l, t).done; // L3 + snoop
+    s.read(CoreId(12), l, t); // cross-socket forward
+    assert_eq!(s.stats.reads_from(DataSource::Memory(NodeId(0))), 1);
+    assert_eq!(s.stats.reads_from(DataSource::SelfL1), 1);
+    assert_eq!(s.stats.reads_from(DataSource::LocalL3), 1);
+    assert_eq!(s.stats.reads_from(DataSource::PeerL3(NodeId(0))), 1);
+    assert_eq!(s.stats.total_reads(), 4);
+    assert!(s.stats.snoops_sent >= 2);
+    s.reset_stats();
+    assert_eq!(s.stats.total_reads(), 0);
+}
+
+#[test]
+fn hitme_disabled_keeps_directory_shared_for_forwards() {
+    let mut cfg = SystemConfig::e5_2680_v3(CoherenceMode::ClusterOnDie);
+    cfg.hitme_enabled = false;
+    let mut s = System::new(cfg);
+    let l = line_on(&s, 1, 0);
+    let home_core = s.topo.cores_of_node(NodeId(1))[0];
+    let t = s.read(home_core, l, SimTime::ZERO).done;
+    // Remote reader: F grant with sharers; without AllocateShared the
+    // directory records Shared, not SnoopAll.
+    s.read(CoreId(0), l, t);
+    assert_eq!(s.dir_state(l), DirState::Shared);
+}
+
+#[test]
+fn hitme_enabled_forces_snoop_all_for_forwards() {
+    let mut s = sys(CoherenceMode::ClusterOnDie);
+    let l = line_on(&s, 1, 0);
+    let home_core = s.topo.cores_of_node(NodeId(1))[0];
+    let t = s.read(home_core, l, SimTime::ZERO).done;
+    s.read(CoreId(0), l, t);
+    assert_eq!(s.dir_state(l), DirState::SnoopAll, "AllocateShared policy");
+}
+
+#[test]
+fn smaller_hitme_thrashes_sooner() {
+    let run = |entries: u32| {
+        let mut cfg = SystemConfig::e5_2680_v3(CoherenceMode::ClusterOnDie);
+        cfg.hitme_entries = entries;
+        let mut s = System::new(cfg);
+        let home_core = s.topo.cores_of_node(NodeId(1))[0];
+        let remote = s.topo.cores_of_node(NodeId(2))[0];
+        let mut t = SimTime::ZERO;
+        let lines: Vec<LineAddr> = (0..2048).map(|i| line_on(&s, 1, i)).collect();
+        for &l in &lines {
+            t = s.read(home_core, l, t).done;
+            t = s.read(remote, l, t).done;
+        }
+        // Reads from node0: HitME hits take the memory fast path.
+        s.reset_stats();
+        for &l in &lines {
+            t = s.read(CoreId(0), l, t).done;
+        }
+        s.stats.reads_from(DataSource::Memory(NodeId(1)))
+    };
+    let small = run(64);
+    let large = run(4096);
+    assert!(
+        large > small + 500,
+        "bigger HitME serves more from memory: {small} vs {large}"
+    );
+}
+
+#[test]
+fn demote_chain_preserves_dirtiness() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let l = line_on(&s, 0, 0);
+    let t = s.write(CoreId(0), l, SimTime::ZERO).done;
+    s.demote_to_l2(CoreId(0), l);
+    assert_eq!(s.l1_state(CoreId(0), l), CoreState::Invalid);
+    assert_eq!(s.l2_state(CoreId(0), l), CoreState::Modified);
+    s.demote_to_l3(CoreId(0), l, t);
+    assert_eq!(s.l2_state(CoreId(0), l), CoreState::Invalid);
+    let meta = s.l3_meta(NodeId(0), l).unwrap();
+    assert_eq!(meta.state, MesifState::Modified);
+    assert_eq!(meta.cv, 0, "writeback cleared CV");
+    let before = s.stats.dram_writebacks;
+    s.demote_to_memory(NodeId(0), l, t);
+    assert!(s.l3_meta(NodeId(0), l).is_none());
+    assert_eq!(s.stats.dram_writebacks, before + 1, "dirty line reached DRAM");
+}
+
+#[test]
+fn migratory_lines_enter_hitme_on_second_transfer() {
+    // AllocateShared: a first-touch write grabs the line from memory (no
+    // forward, no HitME entry), so the first cross-node read pays a
+    // directory broadcast. That read *is* a forward, so it allocates the
+    // entry — and from then on migrations are HitME-directed: a later
+    // owner change plus another read needs no further broadcast.
+    let mut s = sys(CoherenceMode::ClusterOnDie);
+    let l = line_on(&s, 1, 0);
+    let writer2 = s.topo.cores_of_node(NodeId(2))[0];
+    let t = s.write(writer2, l, SimTime::ZERO).done;
+    assert_eq!(s.dir_state(l), DirState::SnoopAll);
+    s.reset_stats();
+    let out = s.read(CoreId(0), l, t);
+    assert_eq!(out.source, DataSource::PeerCore(NodeId(2)));
+    assert_eq!(s.stats.dir_broadcasts, 1, "first transfer broadcasts");
+    // Migrate ownership again; the HitME entry now directs the snoop.
+    let writer3 = s.topo.cores_of_node(NodeId(3))[0];
+    let t = s.write(writer3, l, out.done).done;
+    let out = s.read(CoreId(0), l, t);
+    assert_eq!(out.source, DataSource::PeerCore(NodeId(3)));
+    assert_eq!(s.stats.dir_broadcasts, 1, "migration is HitME-directed");
+}
+
+#[test]
+fn qpi_byte_accounting_tracks_cross_socket_data() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let l = line_on(&s, 0, 0);
+    let t = s.read(CoreId(0), l, SimTime::ZERO).done;
+    let before: u64 = s.qpi_bytes().iter().map(|&(_, b)| b).sum();
+    s.read(CoreId(12), l, t); // pulls a line across QPI
+    let after: u64 = s.qpi_bytes().iter().map(|&(_, b)| b).sum();
+    assert!(after >= before + 64, "data message crossed QPI: {before} -> {after}");
+    // Socket-local traffic must not touch QPI data counters beyond snoops.
+    let per_pair = s.qpi_bytes();
+    assert_eq!(per_pair.len(), 2, "two ordered pairs in a 2-socket system");
+}
+
+#[test]
+fn qpi_only_charged_for_cross_socket_paths() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    // Local traffic in socket 1 must not consume socket-0→1 QPI.
+    let l = line_on(&s, 1, 0);
+    let mut t = SimTime::ZERO;
+    for i in 0..64 {
+        t = s.read(CoreId(12), LineAddr(l.0 + i), t).done;
+    }
+    // Source snooping still snoops the peer socket: control traffic only.
+    // A cross-socket *data* stream moves far more bytes.
+    let mut s2 = sys(CoherenceMode::SourceSnoop);
+    let mut t2 = SimTime::ZERO;
+    for i in 0..64 {
+        t2 = s2.read(CoreId(0), LineAddr(l.0 + i), t2).done;
+    }
+    // (Introspection of QPI byte counters is indirect: compare timing.)
+    assert!(
+        t2.since(SimTime::ZERO) > t.since(SimTime::ZERO),
+        "cross-socket stream must be slower than socket-local"
+    );
+}

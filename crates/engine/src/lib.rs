@@ -1,0 +1,31 @@
+//! # hswx-engine — discrete-event simulation core
+//!
+//! This crate provides the substrate every other `hswx` crate builds on:
+//!
+//! * [`time`] — picosecond-resolution simulated time ([`SimTime`]) and
+//!   durations ([`SimDuration`]), with exact conversions to core clock cycles.
+//! * [`queue`] — a deterministic event calendar ([`EventQueue`]): events at
+//!   equal timestamps pop in insertion order, so simulations are repeatable
+//!   bit-for-bit.
+//! * [`stats`] — counters, online mean/variance, and log-binned histograms
+//!   used by the measurement framework.
+//! * [`resource`] — shared-resource models: a byte-rate serializing
+//!   [`ThroughputResource`] (QPI links, DRAM buses, L3 slice ports) and a
+//!   bounded [`TokenPool`] (line-fill buffers, home-agent trackers).
+//! * [`rng`] — a deterministic small RNG wrapper so every experiment is
+//!   reproducible from a seed.
+//!
+//! The engine knows nothing about caches or coherence; it is a generic DES
+//! toolkit kept separate so its invariants can be tested in isolation.
+
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use resource::{ThroughputResource, TimedPool, TokenPool};
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime, PS_PER_NS};

@@ -1,0 +1,238 @@
+//! Simulated time.
+//!
+//! All timing in `hswx` uses picosecond integers. The paper's test system
+//! runs cores at a fixed 2.5 GHz (Turbo Boost disabled), so one core cycle is
+//! exactly 400 ps and every cycle count in the paper converts losslessly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+
+/// An absolute point in simulated time, in picoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from nanoseconds.
+    pub fn from_ns(ns: f64) -> Self {
+        SimTime((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// This instant expressed in (fractional) nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Duration elapsed since `earlier`. Panics in debug builds if `earlier`
+    /// is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "since() with a later time");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// This instant expressed in seconds since the epoch.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Construct from (fractional) nanoseconds.
+    pub fn from_ns(ns: f64) -> Self {
+        SimDuration((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ns(us * 1_000.0)
+    }
+
+    /// Construct from a cycle count at a clock frequency in GHz.
+    ///
+    /// `cycles_at(4, 2.5)` is the paper's 4-cycle L1 hit: exactly 1.6 ns.
+    pub fn cycles_at(cycles: u64, ghz: f64) -> Self {
+        Self::from_ns(cycles as f64 / ghz)
+    }
+
+    /// This span expressed in (fractional) nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// This span expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Number of whole clock cycles this span covers at `ghz`.
+    pub fn as_cycles_at(self, ghz: f64) -> f64 {
+        self.as_ns() * ghz
+    }
+
+    /// Scale by an integer factor.
+    pub fn scaled(self, factor: u64) -> Self {
+        SimDuration(self.0 * factor)
+    }
+
+    /// Bytes transferred in this span at `gb_per_s` (GB/s, SI: 1e9 bytes/s).
+    pub fn bytes_at_rate(self, gb_per_s: f64) -> f64 {
+        self.as_secs() * gb_per_s * 1e9
+    }
+
+    /// Time to move `bytes` at `gb_per_s` (GB/s, SI).
+    pub fn for_bytes(bytes: u64, gb_per_s: f64) -> Self {
+        // ps = bytes / (GB/s * 1e9 B/s) * 1e12 ps/s = bytes * 1000 / (GB/s)
+        SimDuration(((bytes as f64) * 1000.0 / gb_per_s).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0);
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(rhs.0 <= self.0);
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_conversion_is_exact_at_2_5_ghz() {
+        // 4 cycles at 2.5 GHz = 1.6 ns (paper's L1 latency)
+        assert_eq!(SimDuration::cycles_at(4, 2.5).0, 1_600);
+        // 12 cycles = 4.8 ns (L2)
+        assert_eq!(SimDuration::cycles_at(12, 2.5).0, 4_800);
+        // 53 cycles = 21.2 ns (L3)
+        assert_eq!(SimDuration::cycles_at(53, 2.5).0, 21_200);
+    }
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_ns(96.4);
+        let d = SimDuration::from_ns(49.6);
+        assert_eq!((t + d).since(t), d);
+        assert!((t + d).as_ns() - 146.0 < 1e-9);
+    }
+
+    #[test]
+    fn bytes_rate_roundtrip() {
+        // 64 bytes at 38.4 GB/s
+        let d = SimDuration::for_bytes(64, 38.4);
+        let b = d.bytes_at_rate(38.4);
+        assert!((b - 64.0).abs() < 0.1, "{b}");
+    }
+
+    #[test]
+    fn duration_for_bytes_matches_hand_calc() {
+        // 64 B / 10 GB/s = 6.4 ns
+        assert_eq!(SimDuration::for_bytes(64, 10.0).0, 6_400);
+    }
+
+    #[test]
+    fn max_and_ordering() {
+        let a = SimTime(5);
+        let b = SimTime(9);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_formats_ns() {
+        assert_eq!(format!("{}", SimTime::from_ns(21.2)), "21.200 ns");
+    }
+}

@@ -1,0 +1,99 @@
+//! Cache geometries.
+//!
+//! Presets match the paper's test system (Table II): Xeon E5-2680 v3 with
+//! 32 KiB 8-way L1D and 256 KiB 8-way L2 per core, and 2.5 MiB 20-way L3
+//! slices (one per core, 30 MiB per 12-core socket).
+
+use crate::addr::CACHE_LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Size/associativity description of one cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    /// A geometry of `size_bytes` total capacity and `ways` associativity.
+    ///
+    /// Panics unless the resulting set count is a positive power of two
+    /// (true for all real L1/L2/L3 arrays we model).
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        let g = CacheGeometry { size_bytes, ways };
+        let sets = g.sets();
+        assert!(sets > 0 && sets.is_power_of_two(), "sets = {sets}");
+        g
+    }
+
+    /// Haswell 32 KiB, 8-way L1 data cache.
+    pub fn l1d_haswell() -> Self {
+        CacheGeometry::new(32 * 1024, 8)
+    }
+
+    /// Haswell 256 KiB, 8-way private L2.
+    pub fn l2_haswell() -> Self {
+        CacheGeometry::new(256 * 1024, 8)
+    }
+
+    /// Haswell-EP 2.5 MiB, 20-way L3 slice (one per core).
+    pub fn l3_slice_haswell() -> Self {
+        CacheGeometry::new(2560 * 1024, 20)
+    }
+
+    /// The 14 KiB HitME directory cache per home agent, holding 8-bit
+    /// presence vectors. We model it as 1792 entries, 8-way.
+    ///
+    /// 14 KiB / 8 B per entry (vector + tag overhead) = 1792 entries; the
+    /// patent (Moga et al.) does not publish the exact organization, so the
+    /// entry count is the calibrated quantity and 8-way is assumed.
+    pub fn hitme_haswell() -> Self {
+        // Entries are modelled as 8-byte "lines" for set indexing purposes.
+        CacheGeometry { size_bytes: 1792 * CACHE_LINE_BYTES, ways: 8 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (CACHE_LINE_BYTES * self.ways as u64)
+    }
+
+    /// Total line capacity.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / CACHE_LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_presets_have_expected_shape() {
+        let l1 = CacheGeometry::l1d_haswell();
+        assert_eq!(l1.sets(), 64);
+        assert_eq!(l1.lines(), 512);
+
+        let l2 = CacheGeometry::l2_haswell();
+        assert_eq!(l2.sets(), 512);
+        assert_eq!(l2.lines(), 4096);
+
+        let l3 = CacheGeometry::l3_slice_haswell();
+        assert_eq!(l3.sets(), 2048);
+        assert_eq!(l3.lines(), 40960);
+    }
+
+    #[test]
+    #[should_panic(expected = "sets")]
+    fn non_power_of_two_sets_rejected() {
+        CacheGeometry::new(3 * 1024, 8);
+    }
+
+    #[test]
+    fn hitme_entry_count() {
+        let h = CacheGeometry::hitme_haswell();
+        assert_eq!(h.lines(), 1792);
+        assert_eq!(h.sets(), 224);
+    }
+}

@@ -1,0 +1,19 @@
+//! # hswx-topology — Haswell-EP uncore topology
+//!
+//! Structural model of the paper's Figure 1: die variants (8-, 12-, and
+//! 18-core), the two bidirectional rings joined by buffered queues, QPI and
+//! PCIe attach points, memory-controller placement, the Cluster-on-Die
+//! partitioning, and the physical-address hashing that selects the
+//! responsible L3 slice (caching agent) and home agent.
+//!
+//! The crate answers *structural* questions — which ring a core sits on,
+//! how many ring hops / queue crossings / QPI link traversals separate two
+//! endpoints, which node owns a line — and leaves attaching nanoseconds to
+//! those distances to `hswx-haswell`'s calibration.
+
+pub mod die;
+pub mod hash;
+pub mod system;
+
+pub use die::{Die, DieVariant, Distance, Stop};
+pub use system::{Endpoint, SystemTopology};

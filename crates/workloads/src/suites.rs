@@ -1,0 +1,135 @@
+//! Proxy definitions for the two SPEC suites the paper evaluates.
+//!
+//! Parameter choices follow each application's published characterization
+//! (working-set and bandwidth studies of SPEC OMP2012/MPI2007) at the level
+//! of *traits*: whether the code is bandwidth- or latency-bound, how much
+//! cross-thread sharing its parallelization exhibits, and how NUMA-friendly
+//! its data decomposition is. The two applications the paper singles out —
+//! **362.fma3d** and **371.applu331** — carry the heavy cross-node sharing
+//! that makes them ~5% faster under home snooping (better inter-socket
+//! bandwidth) and up to 23% slower under COD (directory broadcast worst
+//! cases); the rest are within a few percent in every mode.
+
+use crate::proxy::{AppProxy, Suite};
+
+fn omp(
+    name: &'static str,
+    working_set: u64,
+    locality: f64,
+    sharing: f64,
+    write_frac: f64,
+    window: u32,
+    comp_ns: f64,
+) -> AppProxy {
+    AppProxy { name, suite: Suite::Omp2012, working_set, locality, sharing, write_frac, window, comp_ns }
+}
+
+fn mpi(
+    name: &'static str,
+    working_set: u64,
+    window: u32,
+    comp_ns: f64,
+    write_frac: f64,
+) -> AppProxy {
+    AppProxy {
+        name,
+        suite: Suite::Mpi2007,
+        working_set,
+        locality: 0.995,
+        sharing: 0.0,
+        write_frac,
+        window,
+        comp_ns,
+    }
+}
+
+const MIB: u64 = 1024 * 1024;
+
+/// The 14 SPEC OMP2012 proxies.
+pub fn omp2012_proxies() -> Vec<AppProxy> {
+    vec![
+        // compute-bound molecular dynamics: tiny working set
+        omp("350.md", MIB / 2, 0.98, 0.005, 0.2, 2, 20.0),
+        // bandwidth-bound CFD
+        omp("351.bwaves", 16 * MIB, 0.96, 0.01, 0.3, 14, 0.6),
+        // molecular modelling, moderate
+        omp("352.nab", 4 * MIB, 0.97, 0.01, 0.25, 6, 5.0),
+        // NAS BT solver, bandwidth leaning
+        omp("357.bt331", 12 * MIB, 0.95, 0.02, 0.3, 12, 0.8),
+        // sequence alignment, latency leaning
+        omp("358.botsalgn", 2 * MIB, 0.97, 0.01, 0.15, 3, 9.0),
+        // sparse LU, irregular
+        omp("359.botsspar", 8 * MIB, 0.94, 0.02, 0.25, 5, 5.0),
+        // lattice Boltzmann: strongly bandwidth-bound
+        omp("360.ilbdc", 24 * MIB, 0.96, 0.01, 0.35, 16, 0.5),
+        // crash simulation: heavy cross-thread boundary sharing (paper's
+        // outlier #1)
+        omp("362.fma3d", 8 * MIB, 0.90, 0.10, 0.35, 12, 0.8),
+        // shallow water: streaming
+        omp("363.swim", 24 * MIB, 0.96, 0.01, 0.35, 16, 0.5),
+        // image processing: compute-bound
+        omp("367.imagick", MIB, 0.98, 0.005, 0.2, 2, 18.0),
+        // multigrid: bandwidth with some neighbour sharing
+        omp("370.mgrid331", 16 * MIB, 0.95, 0.03, 0.3, 12, 0.8),
+        // SSOR solver: cross-node sharing + latency sensitivity (paper's
+        // outlier #2, +23% under COD)
+        omp("371.applu331", 12 * MIB, 0.88, 0.13, 0.35, 10, 0.8),
+        // Smith-Waterman: small, compute
+        omp("372.smithwa", MIB, 0.98, 0.01, 0.2, 3, 12.0),
+        // kd-tree search: pointer chasing, latency-bound, local
+        omp("376.kdtree", 6 * MIB, 0.97, 0.01, 0.05, 2, 6.0),
+    ]
+}
+
+/// The 13 SPEC MPI2007 proxies (ranks use local memory; communication is
+/// modelled by the residual non-local fraction of `locality`).
+pub fn mpi2007_proxies() -> Vec<AppProxy> {
+    vec![
+        mpi("104.milc", 12 * MIB, 12, 0.9, 0.3),
+        mpi("107.leslie3d", 16 * MIB, 14, 0.7, 0.3),
+        mpi("113.GemsFDTD", 20 * MIB, 14, 0.7, 0.3),
+        mpi("115.fds4", 8 * MIB, 8, 1.5, 0.25),
+        mpi("121.pop2", 10 * MIB, 10, 1.2, 0.3),
+        mpi("122.tachyon", 2 * MIB, 3, 8.0, 0.1),
+        mpi("126.lammps", 6 * MIB, 6, 2.0, 0.25),
+        mpi("127.wrf2", 12 * MIB, 10, 1.0, 0.3),
+        mpi("128.GAPgeofem", 14 * MIB, 12, 0.9, 0.3),
+        mpi("129.tera_tf", 10 * MIB, 10, 1.0, 0.3),
+        mpi("130.socorro", 8 * MIB, 8, 1.5, 0.25),
+        mpi("132.zeusmp2", 16 * MIB, 12, 0.8, 0.3),
+        mpi("137.lu", 12 * MIB, 8, 1.2, 0.3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(omp2012_proxies().len(), 14);
+        assert_eq!(mpi2007_proxies().len(), 13);
+    }
+
+    #[test]
+    fn outliers_have_heavy_sharing() {
+        let omp = omp2012_proxies();
+        let fma3d = omp.iter().find(|a| a.name == "362.fma3d").unwrap();
+        let applu = omp.iter().find(|a| a.name == "371.applu331").unwrap();
+        let max_other = omp
+            .iter()
+            .filter(|a| a.name != "362.fma3d" && a.name != "371.applu331")
+            .map(|a| a.sharing)
+            .fold(0.0, f64::max);
+        assert!(fma3d.sharing > 2.0 * max_other);
+        assert!(applu.sharing > 2.0 * max_other);
+    }
+
+    #[test]
+    fn mpi_ranks_are_numa_local() {
+        for app in mpi2007_proxies() {
+            assert!(app.locality > 0.99, "{}", app.name);
+            assert_eq!(app.sharing, 0.0, "{}", app.name);
+        }
+    }
+}

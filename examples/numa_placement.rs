@@ -1,0 +1,60 @@
+//! NUMA placement advisor.
+//!
+//! For a thread pinned to a given core, compare streaming bandwidth and
+//! access latency against every possible memory home node, in each
+//! coherence configuration — the decision data a `numactl` policy needs.
+//!
+//! ```text
+//! cargo run --release --example numa_placement [core]
+//! ```
+
+use hswx::prelude::*;
+
+fn main() {
+    let core = CoreId(
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+    );
+
+    for mode in [
+        CoherenceMode::SourceSnoop,
+        CoherenceMode::HomeSnoop,
+        CoherenceMode::ClusterOnDie,
+    ] {
+        let probe = System::new(SystemConfig::e5_2680_v3(mode));
+        let my_node = probe.topo.node_of_core(core);
+        println!(
+            "\n=== {} (core {} is in {}) ===",
+            mode.label(),
+            core.0,
+            my_node
+        );
+        println!("{:<10} {:>14} {:>14}", "home", "latency ns", "stream GB/s");
+
+        let mut best = (f64::MAX, NodeId(0));
+        let nodes: Vec<NodeId> = probe.topo.nodes().collect();
+        for home in nodes {
+            // Latency: chase over memory-resident lines homed there. A
+            // home-node core faults the pages in (like first-touch by the
+            // owning rank), so the directory state is clean.
+            let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+            let buf = Buffer::on_node(&sys, home, 32 << 20, 0);
+            let toucher = sys.topo.cores_of_node(home)[0];
+            let t = Placement::exclusive(&mut sys, toucher, &buf.lines, Level::Memory, SimTime::ZERO);
+            let lat = pointer_chase(&mut sys, core, &buf.lines, t, 3).ns_per_access;
+
+            // Bandwidth: cold stream from that node's DRAM.
+            let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+            let buf = Buffer::on_node(&sys, home, 32 << 20, 0);
+            let bw = stream_read(&mut sys, core, &buf.lines, LoadWidth::Avx256, SimTime::ZERO).gb_s;
+
+            println!("{:<10} {lat:>14.1} {bw:>14.1}", format!("{home}"));
+            if lat < best.0 {
+                best = (lat, home);
+            }
+        }
+        println!("--> allocate on {} for core {}", best.1, core.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! BIOS coherence-mode advisor for an application profile.
+//!
+//! Feed the simulator an application's memory-behaviour traits (working
+//! set, NUMA locality, cross-node sharing, bandwidth- vs latency-bound)
+//! and it predicts the relative runtime under the three BIOS coherence
+//! configurations — the decision the paper's §VIII evaluates with SPEC.
+//!
+//! ```text
+//! cargo run --release --example protocol_tuning
+//! ```
+
+use hswx::workloads::{mpi2007_proxies, omp2012_proxies, AppProxy};
+
+fn advise(app: &AppProxy, accesses: usize) {
+    let r = hswx::workloads::proxy::relative_runtimes(app, accesses, 0xBEEF);
+    let best = if r[2] < 0.995 && r[2] <= r[1] {
+        "enable Cluster-on-Die"
+    } else if r[1] < 0.995 {
+        "disable Early Snoop"
+    } else {
+        "keep the default (source snoop)"
+    };
+    println!(
+        "{:<16} src 1.000 | home {:.3} | cod {:.3}  -> {best}",
+        app.name, r[1], r[2]
+    );
+}
+
+fn main() {
+    println!("predicted runtime relative to the default configuration:\n");
+    println!("-- three representative profiles --");
+    for name in ["362.fma3d", "371.applu331", "360.ilbdc"] {
+        let app = omp2012_proxies()
+            .into_iter()
+            .find(|a| a.name == name)
+            .expect("known app");
+        advise(&app, 3000);
+    }
+    println!("\n-- an MPI code (NUMA-local by construction) --");
+    let milc = mpi2007_proxies().into_iter().next().expect("suite non-empty");
+    advise(&milc, 3000);
+
+    println!(
+        "\nRule of thumb the simulation reproduces from the paper: NUMA-local\n\
+         codes gain from COD's shorter local paths; codes with heavy\n\
+         cross-node sharing lose to its directory broadcast worst cases;\n\
+         Early Snoop off only helps inter-socket bandwidth hogs."
+    );
+}

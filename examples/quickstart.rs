@@ -1,0 +1,46 @@
+//! Quickstart: build the paper's test system, place data in controlled
+//! coherence states, and measure latencies and bandwidths.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hswx::prelude::*;
+
+fn main() {
+    // The paper's machine: 2x Xeon E5-2680 v3, default BIOS (source snoop).
+    let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+    println!(
+        "system: {} cores, {} NUMA nodes, mode = {}",
+        sys.topo.n_cores(),
+        sys.topo.n_nodes(),
+        sys.cfg.mode.label()
+    );
+
+    // --- latency: where is my data, and in which state? ---
+    println!("\nload-to-use latency by placement (ns):");
+    let cases: [(&str, CoreId, Level, PlacedState, u64); 5] = [
+        ("own L1, modified", CoreId(0), Level::L1, PlacedState::Modified, 16 << 10),
+        ("own L3", CoreId(0), Level::L3, PlacedState::Exclusive, 1 << 20),
+        ("other core's L1 (dirty)", CoreId(1), Level::L1, PlacedState::Modified, 16 << 10),
+        ("other core's L3 line (stale CV)", CoreId(1), Level::L3, PlacedState::Exclusive, 1 << 20),
+        ("other socket's L3 (dirty)", CoreId(12), Level::L3, PlacedState::Modified, 1 << 20),
+    ];
+    for (name, placer, level, state, size) in cases {
+        let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+        let home = sys.topo.node_of_core(placer);
+        let buf = Buffer::on_node(&sys, home, size, 0);
+        let t = Placement::place(&mut sys, state, &[placer], &buf.lines, level, SimTime::ZERO);
+        let m = pointer_chase(&mut sys, CoreId(0), &buf.lines, t, 1);
+        println!("  {name:<34} {:6.1}", m.ns_per_access);
+    }
+
+    // --- bandwidth: a single core streaming from DRAM ---
+    let buf = Buffer::on_node(&sys, NodeId(0), 64 << 20, 0);
+    let bw = stream_read(&mut sys, CoreId(0), &buf.lines, LoadWidth::Avx256, SimTime::ZERO);
+    println!("\nsingle-core DRAM read bandwidth: {:.1} GB/s", bw.gb_s);
+    println!(
+        "DRAM row-hit rate during the stream: {:.0}%",
+        sys.dram_row_hit_rate() * 100.0
+    );
+}

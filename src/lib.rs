@@ -1,0 +1,45 @@
+//! # hswx — Haswell-EP cache-coherence and memory-performance toolkit
+//!
+//! Facade crate re-exporting the whole workspace: a discrete-event
+//! simulator of the dual-socket Intel Haswell-EP memory subsystem (MESIF
+//! coherence with source-snoop / home-snoop / Cluster-on-Die modes,
+//! in-memory directory + HitME directory cache, dual-ring uncore, QPI,
+//! DDR4) together with the coherence-state-controlled microbenchmark
+//! framework of Molka et al., *"Cache Coherence Protocol and Memory
+//! Performance of the Intel Haswell-EP Architecture"* (ICPP 2015).
+//!
+//! ```
+//! use hswx::prelude::*;
+//!
+//! // Build the paper's test system in its default BIOS configuration.
+//! let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+//!
+//! // Place 64 KiB in Modified state in core 1's cache hierarchy …
+//! let buf = Buffer::on_node(&sys, NodeId(0), 64 * 1024, 0);
+//! let t = Placement::modified(&mut sys, CoreId(1), &buf.lines, Level::L3, SimTime::ZERO);
+//!
+//! // … and measure core 0's load-to-use latency for it.
+//! let m = pointer_chase(&mut sys, CoreId(0), &buf.lines, t, 42);
+//! assert!(m.ns_per_access > 15.0 && m.ns_per_access < 30.0);
+//! ```
+
+pub use hswx_coherence as coherence;
+pub use hswx_engine as engine;
+pub use hswx_haswell as haswell;
+pub use hswx_mem as mem;
+pub use hswx_topology as topology;
+pub use hswx_workloads as workloads;
+
+/// Everything a typical experiment needs.
+pub mod prelude {
+    pub use hswx_coherence::{CoreState, DataSource, DirState, MesifState};
+    pub use hswx_engine::{SimDuration, SimTime};
+    pub use hswx_haswell::microbench::{
+        pointer_chase, stream_read, stream_read_multi, stream_write, stream_write_multi, Buffer,
+        LoadWidth,
+    };
+    pub use hswx_haswell::placement::{Level, PlacedState, Placement};
+    pub use hswx_haswell::{CoherenceMode, System, SystemConfig};
+    pub use hswx_mem::{Addr, CoreId, LineAddr, NodeId};
+    pub use hswx_workloads::{mpi2007_proxies, omp2012_proxies, run_proxy};
+}

@@ -1,0 +1,237 @@
+//! End-to-end checks of the paper's headline measurements (§VI/§VII).
+//!
+//! Tolerances are deliberately generous (the simulator is calibrated at
+//! component level, composites are emergent); `EXPERIMENTS.md` records the
+//! exact values. What these tests pin down is that the *structure* of the
+//! results can never silently regress.
+
+use hswx::prelude::*;
+
+fn sys(mode: CoherenceMode) -> System {
+    System::new(SystemConfig::e5_2680_v3(mode))
+}
+
+fn chase(
+    mode: CoherenceMode,
+    placers: &[CoreId],
+    state: PlacedState,
+    level: Level,
+    home: u8,
+    measurer: CoreId,
+    size: u64,
+) -> f64 {
+    let mut s = sys(mode);
+    let buf = Buffer::on_node(&s, NodeId(home), size, 0);
+    let t = Placement::place(&mut s, state, placers, &buf.lines, level, SimTime::ZERO);
+    pointer_chase(&mut s, measurer, &buf.lines, t, 7).ns_per_access
+}
+
+fn assert_close(sim: f64, paper: f64, tol: f64, what: &str) {
+    let err = (sim - paper).abs() / paper;
+    assert!(err <= tol, "{what}: sim {sim:.1} vs paper {paper:.1} ({:+.1}%)", 100.0 * (sim - paper) / paper);
+}
+
+#[test]
+fn local_hierarchy_latencies() {
+    use CoherenceMode::SourceSnoop as M;
+    assert_close(
+        chase(M, &[CoreId(0)], PlacedState::Modified, Level::L1, 0, CoreId(0), 16 << 10),
+        1.6,
+        0.05,
+        "L1",
+    );
+    assert_close(
+        chase(M, &[CoreId(0)], PlacedState::Modified, Level::L2, 0, CoreId(0), 128 << 10),
+        4.8,
+        0.05,
+        "L2",
+    );
+    assert_close(
+        chase(M, &[CoreId(0)], PlacedState::Exclusive, Level::L3, 0, CoreId(0), 1 << 20),
+        21.2,
+        0.10,
+        "L3",
+    );
+    assert_close(
+        chase(M, &[CoreId(0)], PlacedState::Exclusive, Level::Memory, 0, CoreId(0), 64 << 20),
+        96.4,
+        0.10,
+        "local memory",
+    );
+}
+
+#[test]
+fn coherence_state_effects_within_node() {
+    use CoherenceMode::SourceSnoop as M;
+    // Modified in another core's L1/L2 must be forwarded by that core.
+    let m_l1 = chase(M, &[CoreId(1)], PlacedState::Modified, Level::L1, 0, CoreId(0), 16 << 10);
+    let m_l2 = chase(M, &[CoreId(1)], PlacedState::Modified, Level::L2, 0, CoreId(0), 128 << 10);
+    assert_close(m_l1, 53.0, 0.12, "node M in L1");
+    assert_close(m_l2, 49.0, 0.12, "node M in L2");
+    assert!(m_l1 > m_l2, "L1 forwarding is slower than L2 forwarding");
+
+    // Exclusive lines placed by another core need a core snoop even after
+    // silent eviction (stale CV bit) …
+    let e = chase(M, &[CoreId(1)], PlacedState::Exclusive, Level::L3, 0, CoreId(0), 1 << 20);
+    assert_close(e, 44.4, 0.12, "node E stale-CV");
+    // … but modified lines written back to L3 cleared their CV bit.
+    let m3 = chase(M, &[CoreId(1)], PlacedState::Modified, Level::L3, 0, CoreId(0), 1 << 20);
+    assert_close(m3, 21.2, 0.10, "node M in L3");
+}
+
+#[test]
+fn cross_socket_latencies() {
+    use CoherenceMode::SourceSnoop as M;
+    assert_close(
+        chase(M, &[CoreId(12)], PlacedState::Modified, Level::L3, 1, CoreId(0), 1 << 20),
+        86.0,
+        0.10,
+        "remote L3 M",
+    );
+    assert_close(
+        chase(M, &[CoreId(12)], PlacedState::Exclusive, Level::L3, 1, CoreId(0), 1 << 20),
+        104.0,
+        0.10,
+        "remote L3 E",
+    );
+    assert_close(
+        chase(M, &[CoreId(12)], PlacedState::Exclusive, Level::Memory, 1, CoreId(0), 64 << 20),
+        146.0,
+        0.10,
+        "remote memory",
+    );
+}
+
+#[test]
+fn home_snoop_shifts_match_paper_signs() {
+    // +12% local memory, ~+10% remote cache, ±0 remote memory.
+    let src_mem = chase(
+        CoherenceMode::SourceSnoop,
+        &[CoreId(0)],
+        PlacedState::Exclusive,
+        Level::Memory,
+        0,
+        CoreId(0),
+        64 << 20,
+    );
+    let hs_mem = chase(
+        CoherenceMode::HomeSnoop,
+        &[CoreId(0)],
+        PlacedState::Exclusive,
+        Level::Memory,
+        0,
+        CoreId(0),
+        64 << 20,
+    );
+    assert!(hs_mem > src_mem * 1.05, "home snoop must slow local memory: {src_mem} -> {hs_mem}");
+
+    let src_rem = chase(
+        CoherenceMode::SourceSnoop,
+        &[CoreId(12)],
+        PlacedState::Exclusive,
+        Level::Memory,
+        1,
+        CoreId(0),
+        64 << 20,
+    );
+    let hs_rem = chase(
+        CoherenceMode::HomeSnoop,
+        &[CoreId(12)],
+        PlacedState::Exclusive,
+        Level::Memory,
+        1,
+        CoreId(0),
+        64 << 20,
+    );
+    assert!(
+        (hs_rem - src_rem).abs() / src_rem < 0.03,
+        "remote memory latency is mode-independent: {src_rem} vs {hs_rem}"
+    );
+}
+
+#[test]
+fn cod_reduces_local_latency_and_taxes_remote() {
+    let c0 = CoreId(0);
+    let src_l3 = chase(CoherenceMode::SourceSnoop, &[c0], PlacedState::Exclusive, Level::L3, 0, c0, 1 << 20);
+    let cod_l3 = chase(CoherenceMode::ClusterOnDie, &[c0], PlacedState::Exclusive, Level::L3, 0, c0, 1 << 20);
+    assert!(cod_l3 < src_l3 * 0.9, "COD local L3 win: {src_l3} -> {cod_l3}");
+    assert_close(cod_l3, 18.0, 0.08, "COD local L3");
+
+    let src_mem = chase(CoherenceMode::SourceSnoop, &[c0], PlacedState::Exclusive, Level::Memory, 0, c0, 64 << 20);
+    let cod_mem = chase(CoherenceMode::ClusterOnDie, &[c0], PlacedState::Exclusive, Level::Memory, 0, c0, 64 << 20);
+    assert!(cod_mem < src_mem, "COD local memory win: {src_mem} -> {cod_mem}");
+    assert_close(cod_mem, 89.6, 0.08, "COD local memory");
+}
+
+#[test]
+fn table5_stale_directory_broadcast_penalty() {
+    // Shared within home node only: remote-invalid directory, no broadcast.
+    let mut s = sys(CoherenceMode::ClusterOnDie);
+    let home = NodeId(1);
+    let a = s.topo.cores_of_node(home)[0];
+    let b = s.topo.cores_of_node(home)[1];
+    let buf = Buffer::on_node(&s, home, 32 << 20, 0);
+    let t = Placement::shared(&mut s, &[a, b], &buf.lines, Level::Memory, SimTime::ZERO);
+    let measurer = s.topo.cores_of_node(NodeId(0))[0];
+    let diag = pointer_chase(&mut s, measurer, &buf.lines, t, 7).ns_per_access;
+
+    // Shared across nodes: stale snoop-all → broadcast on every access.
+    let mut s = sys(CoherenceMode::ClusterOnDie);
+    let a = s.topo.cores_of_node(home)[0];
+    let b = s.topo.cores_of_node(NodeId(0))[0];
+    let buf = Buffer::on_node(&s, home, 32 << 20, 0);
+    let t = Placement::shared(&mut s, &[a, b], &buf.lines, Level::Memory, SimTime::ZERO);
+    let off = pointer_chase(&mut s, measurer, &buf.lines, t, 7).ns_per_access;
+
+    let penalty = off - diag;
+    assert!(
+        (50.0..110.0).contains(&penalty),
+        "paper: broadcast adds 78-89 ns; got {penalty:.1} ({diag:.1} -> {off:.1})"
+    );
+}
+
+#[test]
+fn single_core_bandwidth_plateaus() {
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let buf = Buffer::on_node(&s, NodeId(0), 16 << 10, 0);
+    let t = Placement::modified(&mut s, CoreId(0), &buf.lines, Level::L1, SimTime::ZERO);
+    let l1 = stream_read(&mut s, CoreId(0), &buf.lines, LoadWidth::Avx256, t).gb_s;
+    assert_close(l1, 127.2, 0.10, "L1 AVX bandwidth");
+
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let buf = Buffer::on_node(&s, NodeId(0), 1 << 20, 0);
+    let t = Placement::modified(&mut s, CoreId(0), &buf.lines, Level::L3, SimTime::ZERO);
+    let l3 = stream_read(&mut s, CoreId(0), &buf.lines, LoadWidth::Avx256, t).gb_s;
+    assert_close(l3, 26.2, 0.10, "L3 bandwidth");
+
+    let mut s = sys(CoherenceMode::SourceSnoop);
+    let buf = Buffer::on_node(&s, NodeId(0), 64 << 20, 0);
+    let mem = stream_read(&mut s, CoreId(0), &buf.lines, LoadWidth::Avx256, SimTime::ZERO).gb_s;
+    assert_close(mem, 10.3, 0.12, "local memory bandwidth");
+}
+
+#[test]
+fn remote_bandwidth_mode_asymmetry() {
+    // Table VII: 12-core remote reads reach ~30.6 GB/s with home snooping
+    // but only ~16.8 GB/s with source snooping (tracker starvation).
+    let run = |mode| {
+        let mut s = sys(mode);
+        let cores: Vec<CoreId> = (0..12).map(CoreId).collect();
+        let bufs: Vec<Buffer> = cores
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Buffer::on_node(&s, NodeId(1), 8 << 20, i as u64))
+            .collect();
+        let streams: Vec<(CoreId, &[LineAddr])> = cores
+            .iter()
+            .zip(&bufs)
+            .map(|(&c, b)| (c, b.lines.as_slice()))
+            .collect();
+        stream_read_multi(&mut s, &streams, LoadWidth::Avx256, SimTime::ZERO).gb_s
+    };
+    let src = run(CoherenceMode::SourceSnoop);
+    let hs = run(CoherenceMode::HomeSnoop);
+    assert!(hs > 1.5 * src, "home snoop must lift remote reads: {src:.1} vs {hs:.1}");
+    assert_close(hs, 30.6, 0.15, "remote read bandwidth, home snoop");
+    assert_close(src, 16.8, 0.20, "remote read bandwidth, source snoop");
+}

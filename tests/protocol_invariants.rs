@@ -1,0 +1,175 @@
+//! System-level MESIF/directory invariants under randomized access
+//! sequences, checked via the simulator's introspection API.
+
+use hswx::coherence::{DirState, MesifState};
+use hswx::prelude::*;
+use proptest::prelude::*;
+
+fn all_line_states(sys: &System, line: LineAddr) -> Vec<(NodeId, MesifState)> {
+    sys.topo
+        .nodes()
+        .filter_map(|n| sys.l3_meta(n, line).map(|m| (n, m.state)))
+        .collect()
+}
+
+fn check_invariants(sys: &System, lines: &[LineAddr]) -> Result<(), String> {
+    for &line in lines {
+        let states = all_line_states(sys, line);
+        let forwarders = states.iter().filter(|(_, s)| s.can_forward()).count();
+        if forwarders > 1 {
+            return Err(format!("line {line}: {forwarders} forwardable copies: {states:?}"));
+        }
+        let modified = states.iter().filter(|(_, s)| *s == MesifState::Modified).count();
+        if modified > 0 && states.len() > 1 {
+            return Err(format!("line {line}: M coexists with other nodes: {states:?}"));
+        }
+        // Inclusion: any core-cached copy implies an L3 copy in its node.
+        for c in 0..sys.topo.n_cores() {
+            let core = CoreId(c);
+            if sys.l1_state(core, line).is_valid() || sys.l2_state(core, line).is_valid() {
+                let node = sys.topo.node_of_core(core);
+                if sys.l3_meta(node, line).is_none() {
+                    return Err(format!("line {line}: core {c} cached but L3({node}) empty"));
+                }
+            }
+        }
+        // Directory never *understates*: if a remote (non-home) node holds
+        // a copy in a directory-enabled system, the directory must not say
+        // remote-invalid.
+        if sys.protocol().directory {
+            let home = sys.topo.home_node_of_line(line);
+            let remote_copy = states.iter().any(|&(n, _)| n != home);
+            if remote_copy && sys.dir_state(line) == DirState::RemoteInvalid {
+                return Err(format!("line {line}: remote copy but dir=RemoteInvalid"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random reads/writes/flushes by random cores never violate the
+    /// protocol invariants, in any coherence mode.
+    #[test]
+    fn randomized_traffic_preserves_invariants(
+        ops in proptest::collection::vec((0u16..24, 0u64..64, 0u8..10), 1..250),
+        mode_idx in 0usize..3,
+    ) {
+        let mode = CoherenceMode::all()[mode_idx];
+        let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+        let lines: Vec<LineAddr> = (0..2)
+            .flat_map(|n| {
+                let base = sys.topo.numa_base(NodeId(n)).line();
+                base.span(32)
+            })
+            .collect();
+        let mut t = SimTime::ZERO;
+        for &(core, line_idx, op) in &ops {
+            let core = CoreId(core);
+            let line = lines[(line_idx as usize) % lines.len()];
+            t = match op {
+                0..=5 => sys.read(core, line, t).done,
+                6..=8 => sys.write(core, line, t).done,
+                _ => sys.flush(core, line, t),
+            };
+        }
+        if let Err(e) = check_invariants(&sys, &lines) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// After a flush, no cache in the system holds the line and the
+    /// directory is reset.
+    #[test]
+    fn flush_is_global(
+        readers in proptest::collection::vec(0u16..24, 1..6),
+        flusher in 0u16..24,
+    ) {
+        let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::ClusterOnDie));
+        let line = sys.topo.numa_base(NodeId(1)).line();
+        let mut t = SimTime::ZERO;
+        for &r in &readers {
+            t = sys.read(CoreId(r), line, t).done;
+        }
+        t = sys.flush(CoreId(flusher), line, t);
+        let _ = t;
+        for n in sys.topo.nodes() {
+            prop_assert!(sys.l3_meta(n, line).is_none(), "L3({n}) still holds the line");
+        }
+        for c in 0..24 {
+            prop_assert!(!sys.l1_state(CoreId(c), line).is_valid());
+            prop_assert!(!sys.l2_state(CoreId(c), line).is_valid());
+        }
+        prop_assert_eq!(sys.dir_state(line), DirState::RemoteInvalid);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The protocol invariants also hold on a four-socket system (the
+    /// beyond-paper configuration used by the socket-scaling experiment).
+    #[test]
+    fn quad_socket_traffic_preserves_invariants(
+        ops in proptest::collection::vec((0u16..48, 0u64..32, 0u8..10), 1..150),
+        mode_idx in 0usize..3,
+    ) {
+        let mode = CoherenceMode::all()[mode_idx];
+        let mut cfg = SystemConfig::e5_2680_v3(mode);
+        cfg.sockets = 4;
+        let mut sys = System::new(cfg);
+        let lines: Vec<LineAddr> = (0..sys.topo.n_nodes())
+            .flat_map(|n| sys.topo.numa_base(NodeId(n)).line().span(8))
+            .collect();
+        let mut t = SimTime::ZERO;
+        for &(core, line_idx, op) in &ops {
+            let core = CoreId(core % sys.topo.n_cores());
+            let line = lines[(line_idx as usize) % lines.len()];
+            t = match op {
+                0..=5 => sys.read(core, line, t).done,
+                6..=8 => sys.write(core, line, t).done,
+                _ => sys.flush(core, line, t),
+            };
+        }
+        if let Err(e) = check_invariants(&sys, &lines) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+}
+
+#[test]
+fn read_write_read_roundtrip_states() {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+    let line = sys.topo.numa_base(NodeId(0)).line();
+    let t = sys.read(CoreId(0), line, SimTime::ZERO).done;
+    assert_eq!(sys.l1_state(CoreId(0), line), hswx::coherence::CoreState::Exclusive);
+    let t = sys.write(CoreId(0), line, t).done;
+    assert_eq!(sys.l1_state(CoreId(0), line), hswx::coherence::CoreState::Modified);
+    // Another core reads: the writer is demoted to Shared, data forwarded.
+    let out = sys.read(CoreId(3), line, t);
+    assert_eq!(out.source, DataSource::LocalCore);
+    assert_eq!(sys.l1_state(CoreId(0), line), hswx::coherence::CoreState::Shared);
+    assert_eq!(sys.l1_state(CoreId(3), line), hswx::coherence::CoreState::Shared);
+}
+
+#[test]
+fn rfo_invalidates_every_other_copy() {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+    let line = sys.topo.numa_base(NodeId(0)).line();
+    let mut t = SimTime::ZERO;
+    for c in [0u16, 1, 2, 12, 13] {
+        t = sys.read(CoreId(c), line, t).done;
+    }
+    sys.write(CoreId(5), line, t);
+    for c in [0u16, 1, 2, 12, 13] {
+        assert!(!sys.l1_state(CoreId(c), line).is_valid(), "core {c} still valid");
+        assert!(!sys.l2_state(CoreId(c), line).is_valid(), "core {c} L2 still valid");
+    }
+    assert!(!sys
+        .l3_meta(NodeId(1), line)
+        .is_some_and(|m| m.state.is_valid()));
+    let meta = sys.l3_meta(NodeId(0), line).expect("owner node L3");
+    assert_eq!(meta.state, MesifState::Modified);
+}
