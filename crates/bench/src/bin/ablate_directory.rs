@@ -50,5 +50,5 @@ fn main() {
         t.row(label, vec![format!("{ns:.1}"), format!("{bcasts}")]);
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/ablate_directory.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -48,5 +48,5 @@ fn main() {
         fig.add(s);
     }
     print!("{}", fig.to_text());
-    fig.write_csv("results").expect("write results/ablate_hitme.csv");
+    hswx_bench::save_csv(&fig, "results");
 }

@@ -47,5 +47,5 @@ fn main() {
         );
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/ablate_nt.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -36,5 +36,5 @@ fn main() {
         &[run(true, Level::Memory, 64 << 20, 1), run(false, Level::Memory, 64 << 20, 1)],
     );
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/ablate_prefetch.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -42,5 +42,5 @@ fn main() {
         t.row(format!("{:.0}%", scale * 100.0), vec![format!("{:.0}", l3_aggregate(scale))]);
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/ablate_uncore.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -37,5 +37,5 @@ fn main() {
         }
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/fig10.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -38,5 +38,5 @@ fn main() {
     add("remote S", latency_curve(SourceSnoop, &[c12, c13], Shared, NodeId(1), c0, &sizes));
 
     print!("{}", fig.to_text());
-    fig.write_csv("results").expect("write results/fig4.csv");
+    hswx_bench::save_csv(&fig, "results");
 }

@@ -26,5 +26,5 @@ fn main() {
     add("home   remote", latency_curve(HomeSnoop, &[c12], Exclusive, NodeId(1), c0, &sizes));
 
     print!("{}", fig.to_text());
-    fig.write_csv("results").expect("write results/fig5.csv");
+    hswx_bench::save_csv(&fig, "results");
 }

@@ -38,5 +38,5 @@ fn main() {
     add("3hops E", latency_curve(ClusterOnDie, &[n3], Exclusive, NodeId(3), n1, &sizes));
 
     print!("{}", fig.to_text());
-    fig.write_csv("results").expect("write results/fig6.csv");
+    hswx_bench::save_csv(&fig, "results");
 }

@@ -56,6 +56,6 @@ fn main() {
 
     print!("{}", fig.to_text());
     print!("{}", dram.to_text());
-    fig.write_csv("results").expect("write results/fig7.csv");
-    dram.write_csv("results").expect("write results/fig7_dram_fraction.csv");
+    hswx_bench::save_csv(&fig, "results");
+    hswx_bench::save_csv(&dram, "results");
 }

@@ -32,5 +32,5 @@ fn main() {
     add("remote E", bandwidth_curve(SourceSnoop, &[c12], Exclusive, NodeId(1), c0, Avx256, &sizes));
 
     print!("{}", fig.to_text());
-    fig.write_csv("results").expect("write results/fig8.csv");
+    hswx_bench::save_csv(&fig, "results");
 }

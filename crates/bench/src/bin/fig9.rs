@@ -42,5 +42,5 @@ fn main() {
     );
 
     print!("{}", fig.to_text());
-    fig.write_csv("results").expect("write results/fig9.csv");
+    hswx_bench::save_csv(&fig, "results");
 }

@@ -71,5 +71,5 @@ fn main() {
     );
 
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/l3scaling.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -52,5 +52,5 @@ fn main() {
         );
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/skus.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -55,5 +55,5 @@ fn main() {
         }
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/sockets.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -9,5 +9,5 @@ fn main() {
         t.row(row.feature, vec![row.sandy_bridge.to_string(), row.haswell.to_string()]);
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/table1.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -53,5 +53,5 @@ fn main() {
         ],
     );
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/table2.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -106,5 +106,5 @@ fn main() {
     );
 
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/table3.csv");
+    hswx_bench::save_csv(&t, "results");
 }

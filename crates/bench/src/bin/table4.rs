@@ -35,5 +35,5 @@ fn main() {
         t.row_f(format!("node{f}"), &row);
     }
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/table4.csv");
+    hswx_bench::save_csv(&t, "results");
 }

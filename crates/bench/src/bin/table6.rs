@@ -82,5 +82,5 @@ fn main() {
     t.row("memory remote 2nd node", m_r2);
 
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/table6.csv");
+    hswx_bench::save_csv(&t, "results");
 }

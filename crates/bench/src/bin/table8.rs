@@ -28,5 +28,5 @@ fn main() {
     t.row_f("node0 <- node3", &row(3));
 
     print!("{}", t.to_text());
-    t.write_csv("results").expect("write results/table8.csv");
+    hswx_bench::save_csv(&t, "results");
 }

@@ -11,3 +11,48 @@ pub mod scenarios;
 
 pub use anchors::{bandwidth_anchors, latency_anchors, Anchor};
 pub use parallel::parallel_map;
+
+use hswx_haswell::report::{Figure, Table};
+use std::io;
+use std::path::Path;
+
+/// A result artifact that can persist itself as `<dir>/<id>.csv`.
+pub trait CsvArtifact {
+    /// File stem under the output directory.
+    fn id(&self) -> &str;
+    /// Write the CSV.
+    fn write(&self, dir: &Path) -> io::Result<()>;
+}
+
+impl CsvArtifact for Figure {
+    fn id(&self) -> &str {
+        &self.id
+    }
+    fn write(&self, dir: &Path) -> io::Result<()> {
+        self.write_csv(dir)
+    }
+}
+
+impl CsvArtifact for Table {
+    fn id(&self) -> &str {
+        &self.id
+    }
+    fn write(&self, dir: &Path) -> io::Result<()> {
+        self.write_csv(dir)
+    }
+}
+
+/// Save a figure/table CSV under `dir`, exiting with a diagnostic instead
+/// of panicking when the filesystem refuses (read-only checkout, missing
+/// permissions, full disk). Used by every `src/bin` regenerator so a
+/// failed write names the path and the I/O cause rather than unwinding.
+pub fn save_csv(artifact: &impl CsvArtifact, dir: &str) {
+    let dir = Path::new(dir);
+    if let Err(e) = artifact.write(dir) {
+        eprintln!(
+            "error: cannot write {}: {e}",
+            dir.join(format!("{}.csv", artifact.id())).display()
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,18 +2,51 @@
 //!
 //! Every point of a figure sweep is an independent simulation (its own
 //! `System`), so sweeps parallelize perfectly across host threads. This
-//! driver fans a list of jobs out over `crossbeam` scoped threads and
-//! collects `(index, value)` results through a `parking_lot` mutex,
-//! preserving input order. Figures that took minutes single-threaded
-//! regenerate in seconds on a many-core host.
+//! driver fans a list of jobs out over scoped threads and collects
+//! `(index, value)` results through a mutex, preserving input order.
+//! Figures that took minutes single-threaded regenerate in seconds on a
+//! many-core host.
+//!
+//! Each job runs under [`std::panic::catch_unwind`], so one diverging
+//! point (a protocol bug, a pathological parameter) no longer aborts
+//! the thousands of sibling points of a sweep: [`parallel_try_map`]
+//! completes the rest and reports exactly which points failed and why.
 
-use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
-/// Map `jobs` to values in parallel, preserving order.
+/// A sweep point whose job panicked.
+#[derive(Debug, Clone)]
+pub struct FailedJob {
+    /// Index into the input job list.
+    pub index: usize,
+    /// Rendered panic payload (`&str`/`String` payloads verbatim).
+    pub panic: String,
+}
+
+impl std::fmt::Display for FailedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {}: {}", self.index, self.panic)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Map `jobs` to values in parallel, preserving order and isolating
+/// panics: a panicking job is reported in the second return value while
+/// every other job still completes.
 ///
 /// `f` must be pure per job (each job builds its own simulator), which
 /// every scenario in this crate satisfies.
-pub fn parallel_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
+pub fn parallel_try_map<J, R, F>(jobs: Vec<J>, f: F) -> (Vec<Option<R>>, Vec<FailedJob>)
 where
     J: Send + Sync,
     R: Send,
@@ -21,17 +54,18 @@ where
 {
     let n = jobs.len();
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let failures: Mutex<Vec<FailedJob>> = Mutex::new(Vec::new());
     let next: Mutex<usize> = Mutex::new(0);
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().unwrap_or_else(|e| e.into_inner());
                     let i = *guard;
                     if i >= n {
                         return;
@@ -39,18 +73,49 @@ where
                     *guard += 1;
                     i
                 };
-                let r = f(&jobs[i]);
-                results.lock()[i] = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(&jobs[i]))) {
+                    Ok(r) => {
+                        results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+                    }
+                    Err(payload) => {
+                        failures
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(FailedJob { index: i, panic: panic_message(payload) });
+                    }
+                }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job completed"))
-        .collect()
+    let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+    failures.sort_by_key(|fj| fj.index);
+    let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    (results, failures)
+}
+
+/// Map `jobs` to values in parallel, preserving order.
+///
+/// Thin wrapper over [`parallel_try_map`]: all sibling jobs run to
+/// completion even when some panic, then this reports every failed
+/// index at once (rather than aborting the whole sweep on the first).
+pub fn parallel_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
+where
+    J: Send + Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let (results, failures) = parallel_try_map(jobs, f);
+    if !failures.is_empty() {
+        let detail: Vec<String> = failures.iter().map(|fj| fj.to_string()).collect();
+        panic!(
+            "{} of {} sweep jobs failed: [{}]",
+            failures.len(),
+            results.len(),
+            detail.join("; "),
+        );
+    }
+    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -91,5 +156,45 @@ mod tests {
         });
         assert_eq!(lats.len(), 3);
         assert!(lats.iter().all(|&l| l > 50.0));
+    }
+
+    #[test]
+    fn panicking_job_does_not_abort_siblings() {
+        let jobs: Vec<u32> = (0..64).collect();
+        let (results, failures) = parallel_try_map(jobs, |&j| {
+            if j % 10 == 3 {
+                panic!("deliberate failure at {j}");
+            }
+            j * 2
+        });
+        assert_eq!(failures.len(), 7); // 3, 13, ..., 63
+        assert!(failures.iter().all(|fj| fj.index % 10 == 3));
+        assert!(failures[0].panic.contains("deliberate failure at 3"));
+        for (i, r) in results.iter().enumerate() {
+            if i % 10 == 3 {
+                assert!(r.is_none());
+            } else {
+                assert_eq!(*r, Some(i as u32 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_reports_every_failed_index() {
+        let jobs: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(jobs, |&j| {
+                if j == 4 || j == 11 {
+                    panic!("bad point {j}");
+                }
+                j
+            })
+        });
+        let msg = match caught {
+            Ok(_) => panic!("expected parallel_map to report failures"),
+            Err(p) => *p.downcast::<String>().expect("string panic message"),
+        };
+        assert!(msg.contains("2 of 16 sweep jobs failed"), "{msg}");
+        assert!(msg.contains("job 4") && msg.contains("job 11"), "{msg}");
     }
 }

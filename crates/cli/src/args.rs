@@ -52,6 +52,11 @@ impl Flags {
     pub fn has(&self, key: &str) -> bool {
         self.map.contains_key(key)
     }
+
+    /// Raw flag value, if present (no default).
+    pub fn map_get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use crate::args::Flags;
 use hswx_engine::SimTime;
+use hswx_verify::{run_campaign, FaultPlan};
 use hswx_haswell::microbench::{
     pointer_chase, stream_read, stream_write, stream_write_nt, Buffer, LoadWidth,
 };
@@ -21,11 +22,15 @@ USAGE:
   hswx replay    FILE [--mode M] [--window N]
   hswx explain   [latency flags]   (prints the protocol steps of one access)
   hswx apps      [--accesses N]
+  hswx faultcheck [--plan FILE] [--seed N] [--trials N] [--classes a,b,..] [--quick]
+                 (fault-injection campaign: asserts the invariant monitor
+                  detects every injected corruption in all three modes)
 
 EXAMPLES:
   hswx latency --state M --level l1 --placer 1 --measurer 0
   hswx bandwidth --level mem --size 67108864 --width avx
-  hswx replay mytrace.txt --mode cod --window 8";
+  hswx replay mytrace.txt --mode cod --window 8
+  hswx faultcheck --quick";
 
 fn mode_of(flags: &Flags) -> Result<CoherenceMode, String> {
     match flags.get("mode", "source") {
@@ -251,6 +256,39 @@ pub fn replay(argv: &[String]) -> Result<(), String> {
         println!("  mean {class} latency: {ns:.1} ns");
     }
     Ok(())
+}
+
+/// `hswx faultcheck` — run the seeded fault-injection campaign and print
+/// the detection-coverage matrix. Exits nonzero on any detection gap.
+pub fn faultcheck(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["quick"])?;
+    let mut plan = if let Some(path) = flags.map_get("plan") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        FaultPlan::from_text(&text).map_err(|e| format!("{path}: {e}"))?
+    } else if flags.has("quick") {
+        FaultPlan::quick()
+    } else {
+        FaultPlan::default()
+    };
+    if flags.has("quick") {
+        plan.trials = plan.trials.min(1);
+    }
+    plan.seed = flags.get_parse("seed", plan.seed)?;
+    plan.trials = flags.get_parse("trials", plan.trials)?;
+    if let Some(list) = flags.map_get("classes") {
+        let parsed = FaultPlan::from_text(&format!("classes = {list}\n"))?;
+        plan.classes = parsed.classes;
+    }
+    if plan.trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
+    let report = run_campaign(&plan);
+    print!("{report}");
+    if report.all_detected() {
+        Ok(())
+    } else {
+        Err("fault-injection campaign found detection gaps (matrix above)".into())
+    }
 }
 
 /// `hswx apps` — the SPEC-proxy comparison (paper Fig. 10).

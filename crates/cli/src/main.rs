@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "replay" => cmds::replay(rest),
         "explain" => cmds::explain(rest),
         "apps" => cmds::apps(rest),
+        "faultcheck" => cmds::faultcheck(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);
             Ok(())

@@ -135,6 +135,17 @@ impl HitMeCache {
         self.cache.remove(line)
     }
 
+    /// Peek an entry without promoting it or counting a lookup.
+    pub fn peek(&self, line: LineAddr) -> Option<&HitMeEntry> {
+        self.cache.peek(line)
+    }
+
+    /// Iterate every resident entry (no LRU promotion, no stat updates) —
+    /// used by the runtime invariant monitor's global scans.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &HitMeEntry)> {
+        self.cache.iter()
+    }
+
     /// Hit rate so far.
     pub fn hit_rate(&self) -> f64 {
         let t = self.hits + self.misses;

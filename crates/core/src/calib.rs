@@ -174,6 +174,65 @@ impl Calib {
         self
     }
 
+    /// Sanity-check every constant: all timings must be finite and
+    /// non-negative, clocks/bandwidths strictly positive, pool sizes and
+    /// message sizes non-zero. Returns the first offending `(field, value)`.
+    ///
+    /// The runtime invariant monitor calls this periodically so a corrupted
+    /// (NaN / negative) calibration is caught at the source instead of
+    /// surfacing as silently wrong latencies.
+    pub fn validate(&self) -> Result<(), (&'static str, f64)> {
+        let nonneg = [
+            ("t_l1", self.t_l1),
+            ("t_l2", self.t_l2),
+            ("t_miss_path", self.t_miss_path),
+            ("t_fill", self.t_fill),
+            ("t_inject", self.t_inject),
+            ("t_hop", self.t_hop),
+            ("t_queue", self.t_queue),
+            ("t_qpi", self.t_qpi),
+            ("t_l3_tag", self.t_l3_tag),
+            ("t_l3_array", self.t_l3_array),
+            ("t_probe", self.t_probe),
+            ("t_probe_l2_fwd", self.t_probe_l2_fwd),
+            ("t_probe_l1_fwd", self.t_probe_l1_fwd),
+            ("t_ha", self.t_ha),
+            ("t_ca_fwd", self.t_ca_fwd),
+            ("t_home_snoop_issue", self.t_home_snoop_issue),
+            ("t_mem_ctl", self.t_mem_ctl),
+            ("t_hitme", self.t_hitme),
+            ("t_uncore_gap", self.t_uncore_gap),
+            ("t_fwd_occ_miss", self.t_fwd_occ_miss),
+            ("t_fwd_occ_l2", self.t_fwd_occ_l2),
+            ("t_fwd_occ_l1", self.t_fwd_occ_l1),
+        ];
+        for (name, v) in nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err((name, v));
+            }
+        }
+        let positive = [
+            ("core_ghz", self.core_ghz),
+            ("avx_ghz", self.avx_ghz),
+            ("qpi_gb_s", self.qpi_gb_s),
+            ("l3_port_gb_s", self.l3_port_gb_s),
+            ("l2_port_avx_gb_s", self.l2_port_avx_gb_s),
+            ("l2_port_sse_gb_s", self.l2_port_sse_gb_s),
+            ("lfb_per_core", self.lfb_per_core as f64),
+            ("trackers_source_remote", self.trackers_source_remote as f64),
+            ("trackers_other", self.trackers_other as f64),
+            ("trackers_cod_remote", self.trackers_cod_remote as f64),
+            ("msg_data", self.msg_data as f64),
+            ("msg_ctl", self.msg_ctl as f64),
+        ];
+        for (name, v) in positive {
+            if !v.is_finite() || v <= 0.0 {
+                return Err((name, v));
+            }
+        }
+        Ok(())
+    }
+
     /// Nanoseconds for a structural distance (QPI crossings add
     /// propagation only; serialization is charged on the link resource).
     pub fn transit_ns(&self, d: Distance) -> f64 {
@@ -234,6 +293,17 @@ mod tests {
         assert!(fast.l3_port_gb_s > base.l3_port_gb_s);
         assert_eq!(fast.t_qpi, base.t_qpi, "QPI is its own clock domain");
         assert_eq!(fast.t_l1, base.t_l1, "core domain untouched");
+    }
+
+    #[test]
+    fn validate_accepts_haswell_and_rejects_corruption() {
+        assert_eq!(Calib::haswell_ep().validate(), Ok(()));
+        let mut bad = Calib::haswell_ep();
+        bad.t_qpi = -1.0;
+        assert_eq!(bad.validate(), Err(("t_qpi", -1.0)));
+        let mut nan = Calib::haswell_ep();
+        nan.qpi_gb_s = f64::NAN;
+        assert!(matches!(nan.validate(), Err(("qpi_gb_s", _))));
     }
 
     #[test]

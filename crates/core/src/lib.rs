@@ -21,6 +21,9 @@
 //! * [`analytic`] — closed-form latency formulas used as differential
 //!   checks against the simulator.
 //! * [`system`] — the simulated machine and its transaction walks.
+//! * [`error`] / [`monitor`] / [`inject`] — typed simulation errors, the
+//!   runtime invariant monitor, and the fault-injection hooks that make
+//!   every simulation self-checking.
 //! * [`placement`] — coherence-state placement (the paper's §V-B recipes).
 //! * [`microbench`] — latency and bandwidth measurement framework.
 //! * [`spec`] — the static architecture comparison data (paper Tables I/II).
@@ -29,7 +32,10 @@
 pub mod analytic;
 pub mod calib;
 pub mod config;
+pub mod error;
+pub mod inject;
 pub mod microbench;
+pub mod monitor;
 pub mod placement;
 pub mod report;
 pub mod spec;
@@ -37,5 +43,7 @@ pub mod system;
 
 pub use calib::Calib;
 pub use config::{CoherenceMode, SystemConfig};
+pub use error::SimError;
+pub use monitor::{MonitorConfig, Violation};
 pub use placement::{PlacedState, Placement};
 pub use system::{AccessOutcome, ProtoStep, Stats, System};

@@ -1,0 +1,290 @@
+//! Runtime invariant monitor — makes every simulation self-checking.
+//!
+//! The protocol invariants asserted by the repo's test suite (the
+//! exhaustive small-model checker and the randomized property tests) are
+//! mirrored here as a *runtime* scan that [`crate::System`] can run every N
+//! transactions while real workloads execute. Combined with the per-walk
+//! watchdog (latency + protocol-step budgets) this turns silent state
+//! corruption — whether from a simulator bug or a deliberate fault
+//! injection — into a typed [`crate::SimError`] instead of a wrong number.
+//!
+//! The monitor is strictly read-only: it peeks cache arrays without LRU
+//! promotion and never touches statistics, so enabling it cannot change
+//! any simulated outcome. When disabled (the default) no scan code runs at
+//! all.
+
+use crate::system::System;
+use hswx_coherence::{CoreState, DirState, MesifState};
+use hswx_mem::{CoreId, LineAddr, NodeId, SliceId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Monitor tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Run the global invariant scan every `check_every` completed
+    /// transactions (reads + writes). The scan walks every resident line,
+    /// so small values are expensive on large footprints.
+    pub check_every: u64,
+    /// Per-walk latency budget, ns. Loaded bandwidth runs legitimately
+    /// queue for a long time, so the default is deliberately generous;
+    /// fault campaigns tighten it to catch delayed/lost snoop responses.
+    pub max_walk_ns: f64,
+    /// Per-walk protocol-message budget. A single transaction walk sends a
+    /// bounded number of messages (a few per peer node), so a runaway count
+    /// means the walk logic itself is broken.
+    pub max_walk_steps: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            check_every: 64,
+            max_walk_ns: 1e6,
+            max_walk_steps: 4096,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Aggressive settings for fault-injection campaigns: scan after every
+    /// transaction and treat any walk slower than `max_walk_ns` as lost.
+    pub fn strict() -> Self {
+        MonitorConfig {
+            check_every: 1,
+            max_walk_ns: 5_000.0,
+            max_walk_steps: 512,
+        }
+    }
+}
+
+/// One detected breach of a global protocol invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// More than one node holds a forwardable (M/E/F) copy of a line.
+    MultipleForwarders {
+        /// Affected line.
+        line: LineAddr,
+        /// Every node holding a forwardable copy.
+        nodes: Vec<NodeId>,
+    },
+    /// A node holds a line Modified while other node-level copies exist.
+    ModifiedNotExclusive {
+        /// Affected line.
+        line: LineAddr,
+        /// The Modified holder.
+        owner: NodeId,
+        /// Some other node with a simultaneous copy.
+        other: NodeId,
+    },
+    /// A core caches a line its node's inclusive L3 does not hold.
+    InclusionMissingL3 {
+        /// Affected line.
+        line: LineAddr,
+        /// The core with the orphaned private copy.
+        core: CoreId,
+    },
+    /// A core caches a line but the L3 core-valid bit for it is clear.
+    CoreValidBitClear {
+        /// Affected line.
+        line: LineAddr,
+        /// The core whose CV bit is missing.
+        core: CoreId,
+    },
+    /// A core holds a line dirty while its node-level state is not M/E.
+    DirtyCoreNodeClean {
+        /// Affected line.
+        line: LineAddr,
+        /// The core with the dirty copy.
+        core: CoreId,
+        /// The (insufficient) node-level state.
+        node_state: MesifState,
+    },
+    /// The in-memory directory claims remote-invalid for a line a non-home
+    /// node demonstrably caches (directory modes only).
+    DirectoryUnderstates {
+        /// Affected line.
+        line: LineAddr,
+        /// A non-home node holding a copy.
+        holder: NodeId,
+    },
+    /// A live HitME entry's presence vector omits a node that holds the
+    /// line Modified (the entry may legally *overstate* after silent clean
+    /// evictions, but may never understate a dirty holder).
+    HitMeUnderstates {
+        /// Affected line.
+        line: LineAddr,
+        /// The Modified holder missing from the presence vector.
+        node: NodeId,
+    },
+    /// A live HitME entry claims the memory copy is valid (`clean`) while
+    /// some node holds the line Modified.
+    HitMeFalseClean {
+        /// Affected line.
+        line: LineAddr,
+        /// The Modified holder contradicting the clean bit.
+        node: NodeId,
+    },
+    /// A calibration constant is NaN, infinite, negative, or zero where a
+    /// positive value is required.
+    CalibOutOfRange {
+        /// Offending `Calib` field.
+        field: &'static str,
+        /// Its current value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MultipleForwarders { line, nodes } => {
+                write!(f, "line {line:?}: multiple forwardable copies in nodes {nodes:?}")
+            }
+            Violation::ModifiedNotExclusive { line, owner, other } => write!(
+                f,
+                "line {line:?}: node {owner:?} holds Modified while node {other:?} also has a copy"
+            ),
+            Violation::InclusionMissingL3 { line, core } => write!(
+                f,
+                "line {line:?}: core {core:?} caches it but the node's inclusive L3 does not"
+            ),
+            Violation::CoreValidBitClear { line, core } => write!(
+                f,
+                "line {line:?}: core {core:?} caches it but the L3 core-valid bit is clear"
+            ),
+            Violation::DirtyCoreNodeClean { line, core, node_state } => write!(
+                f,
+                "line {line:?}: core {core:?} holds it dirty under node-level state {node_state:?}"
+            ),
+            Violation::DirectoryUnderstates { line, holder } => write!(
+                f,
+                "line {line:?}: directory says remote-invalid but node {holder:?} holds a copy"
+            ),
+            Violation::HitMeUnderstates { line, node } => write!(
+                f,
+                "line {line:?}: HitME presence vector omits Modified holder {node:?}"
+            ),
+            Violation::HitMeFalseClean { line, node } => write!(
+                f,
+                "line {line:?}: HitME entry claims clean but node {node:?} holds Modified"
+            ),
+            Violation::CalibOutOfRange { field, value } => {
+                write!(f, "calibration constant {field} out of range: {value}")
+            }
+        }
+    }
+}
+
+/// Scan the whole system for an invariant breach. Returns the first
+/// violation found, or `None` when every invariant holds.
+///
+/// This mirrors (and must stay in sync with) the checks in
+/// `tests/model_check.rs` and `tests/protocol_invariants.rs`, generalized
+/// from "one known line" to every line resident anywhere.
+pub(crate) fn scan(sys: &System) -> Option<Violation> {
+    // 0. Calibration sanity — cheap, so it runs first.
+    if let Err((field, value)) = sys.cal.validate() {
+        return Some(Violation::CalibOutOfRange { field, value });
+    }
+
+    // Gather node-level states per line by walking every L3 slice.
+    let mut lines: HashMap<LineAddr, Vec<(NodeId, MesifState)>> = HashMap::new();
+    for (si, slice) in sys.l3.iter().enumerate() {
+        let node = sys.topo.node_of_slice(SliceId(si as u16));
+        for (line, meta) in slice.iter() {
+            if meta.state.is_valid() {
+                lines.entry(line).or_default().push((node, meta.state));
+            }
+        }
+    }
+
+    // 1 + 2. Single forwarder; Modified excludes all other copies.
+    for (&line, states) in &lines {
+        let forwarders: Vec<NodeId> = states
+            .iter()
+            .filter(|(_, s)| s.can_forward())
+            .map(|&(n, _)| n)
+            .collect();
+        if forwarders.len() > 1 {
+            return Some(Violation::MultipleForwarders { line, nodes: forwarders });
+        }
+        if let Some(&(owner, _)) = states.iter().find(|(_, s)| *s == MesifState::Modified) {
+            if states.len() > 1 {
+                let other = states.iter().find(|&&(n, _)| n != owner).map(|&(n, _)| n);
+                if let Some(other) = other {
+                    return Some(Violation::ModifiedNotExclusive { line, owner, other });
+                }
+            }
+        }
+    }
+
+    // 3. Inclusion: every valid private copy is backed by the node's L3
+    //    with the matching core-valid bit; dirty private copies require
+    //    node-level ownership (M/E).
+    for c in 0..sys.topo.n_cores() {
+        let core = CoreId(c);
+        let ci = c as usize;
+        let node = sys.topo.node_of_core(core);
+        let local = sys.topo.node_local_core(core);
+        let mut seen: Vec<LineAddr> = Vec::new();
+        for (line, &st) in sys.l1[ci].iter().chain(sys.l2[ci].iter()) {
+            if !st.is_valid() || seen.contains(&line) {
+                continue;
+            }
+            seen.push(line);
+            let slice = sys.topo.slice_for_line(line, node);
+            let Some(meta) = sys.l3[slice.0 as usize].peek(line).copied() else {
+                return Some(Violation::InclusionMissingL3 { line, core });
+            };
+            if meta.cv & (1 << local) == 0 {
+                return Some(Violation::CoreValidBitClear { line, core });
+            }
+            let dirty = sys.l1[ci].peek(line).copied() == Some(CoreState::Modified)
+                || sys.l2[ci].peek(line).copied() == Some(CoreState::Modified);
+            if dirty && !matches!(meta.state, MesifState::Modified | MesifState::Exclusive) {
+                return Some(Violation::DirtyCoreNodeClean { line, core, node_state: meta.state });
+            }
+        }
+    }
+
+    // 4. Directory soundness: a non-home copy implies the directory does
+    //    not claim remote-invalid. (Stale *overstatement* after silent
+    //    clean evictions is legal and deliberately not flagged.)
+    if sys.proto.directory {
+        for (&line, states) in &lines {
+            let home = sys.topo.home_node_of_line(line);
+            if let Some(&(holder, _)) = states.iter().find(|&&(n, _)| n != home) {
+                let ha = sys.topo.ha_for_line(line);
+                if sys.dir[ha.0 as usize].peek(line) == DirState::RemoteInvalid {
+                    return Some(Violation::DirectoryUnderstates { line, holder });
+                }
+            }
+        }
+    }
+
+    // 5. HitME soundness: a live entry may overstate sharers but must
+    //    never omit a Modified holder, and its clean bit must be false
+    //    while anyone holds the line dirty.
+    if sys.proto.hitme {
+        for hitme in &sys.hitme {
+            for (line, entry) in hitme.iter() {
+                let Some(states) = lines.get(&line) else { continue };
+                for &(node, st) in states {
+                    if st != MesifState::Modified {
+                        continue;
+                    }
+                    if entry.clean {
+                        return Some(Violation::HitMeFalseClean { line, node });
+                    }
+                    if !entry.nodes.contains(node) {
+                        return Some(Violation::HitMeUnderstates { line, node });
+                    }
+                }
+            }
+        }
+    }
+
+    None
+}

@@ -15,6 +15,9 @@
 
 use crate::calib::Calib;
 use crate::config::SystemConfig;
+use crate::error::SimError;
+use crate::inject::FaultState;
+use crate::monitor::{self, MonitorConfig, Violation};
 use hswx_coherence::{
     ca_local_action, dir_after_read, dir_after_rfo, fill_state_after_read, ha_read_arrival_plan,
     ha_read_dir_plan, CaAction, CoreState, DataSource, DirState, HitMeCache, HitMeEntry,
@@ -164,14 +167,14 @@ pub struct System {
     pub cfg: SystemConfig,
     /// Structural topology.
     pub topo: SystemTopology,
-    proto: ProtocolConfig,
-    cal: Calib,
+    pub(crate) proto: ProtocolConfig,
+    pub(crate) cal: Calib,
 
-    l1: Vec<SetAssocCache<CoreState>>,
-    l2: Vec<SetAssocCache<CoreState>>,
-    l3: Vec<SetAssocCache<L3Meta>>,
-    dir: Vec<InMemoryDirectory>,
-    hitme: Vec<HitMeCache>,
+    pub(crate) l1: Vec<SetAssocCache<CoreState>>,
+    pub(crate) l2: Vec<SetAssocCache<CoreState>>,
+    pub(crate) l3: Vec<SetAssocCache<L3Meta>>,
+    pub(crate) dir: Vec<InMemoryDirectory>,
+    pub(crate) hitme: Vec<HitMeCache>,
     mem: Vec<MemoryController>,
     /// QPI link resources, one per ordered socket pair
     /// (index = from_socket * n_sockets + to_socket; diagonal unused).
@@ -187,6 +190,17 @@ pub struct System {
     wc_buf: Vec<TimedPool>,
     /// Armed transcript collector (see [`System::trace_next`]).
     trace_log: Option<Vec<(SimTime, ProtoStep)>>,
+    /// Trace armed by the monitor for the current walk only (discarded on
+    /// success, attached to the error on failure).
+    auto_trace: bool,
+    /// Runtime invariant monitor; `None` (the default) costs nothing.
+    monitor: Option<MonitorConfig>,
+    /// Completed read/write transactions (drives the periodic scan).
+    txn_count: u64,
+    /// Protocol messages sent by the walk in flight.
+    walk_steps: u32,
+    /// Pending injected message faults (see [`crate::inject`]).
+    pub(crate) faults: FaultState,
 
     /// Event counters.
     pub stats: Stats,
@@ -260,9 +274,46 @@ impl System {
                 .map(|_| TimedPool::new(cal.lfb_per_core as usize))
                 .collect(),
             trace_log: None,
+            auto_trace: false,
+            monitor: None,
+            txn_count: 0,
+            walk_steps: 0,
+            faults: FaultState::default(),
             stats: Stats::default(),
             cfg,
         }
+    }
+
+    /// Enable the runtime invariant monitor with `cfg`. While enabled,
+    /// [`try_read`](Self::try_read) / [`try_write`](Self::try_write) run a
+    /// per-walk watchdog and a periodic global invariant scan, and their
+    /// panicking wrappers abort with a full diagnostic instead of silently
+    /// propagating corrupted state. The monitor is read-only: simulated
+    /// latencies, data sources, and statistics are bit-identical with it
+    /// on or off.
+    pub fn enable_monitor(&mut self, cfg: MonitorConfig) {
+        self.monitor = Some(cfg);
+    }
+
+    /// Turn the invariant monitor off (the default state).
+    pub fn disable_monitor(&mut self) {
+        self.monitor = None;
+    }
+
+    /// The active monitor configuration, if any.
+    pub fn monitor_config(&self) -> Option<MonitorConfig> {
+        self.monitor
+    }
+
+    /// Run the global invariant scan right now, regardless of the
+    /// monitor's periodic schedule. Returns the first violation found.
+    pub fn check_invariants(&self) -> Option<Violation> {
+        monitor::scan(self)
+    }
+
+    /// Completed read/write transactions since construction.
+    pub fn txns(&self) -> u64 {
+        self.txn_count
     }
 
     /// Calibration in use.
@@ -307,6 +358,7 @@ impl System {
     /// Deliver a `bytes`-sized message, reserving QPI when the path crosses
     /// sockets. Returns the arrival time.
     fn send(&mut self, t: SimTime, from: Endpoint, to: Endpoint, bytes: u64) -> SimTime {
+        self.walk_steps = self.walk_steps.saturating_add(1);
         let d = self.topo.distance(from, to);
         let transit = self.cal.transit(d);
         if d.qpi > 0 {
@@ -331,6 +383,106 @@ impl System {
 
     fn ns(&self, x: f64) -> SimDuration {
         SimDuration::from_ns(x)
+    }
+
+    // ------------------------------------------------------------------
+    // walk bracketing (watchdog + periodic invariant scan)
+    // ------------------------------------------------------------------
+
+    /// Reset the per-walk step counter and, when the monitor is on and the
+    /// user has not armed a trace, record this walk's transcript so a
+    /// failure can explain itself.
+    fn begin_walk(&mut self) {
+        self.walk_steps = 0;
+        if self.monitor.is_some() && self.trace_log.is_none() {
+            self.trace_log = Some(Vec::new());
+            self.auto_trace = true;
+        }
+    }
+
+    /// Collect the transcript for an error: consume a monitor-armed trace,
+    /// or snapshot a user-armed one without disarming it.
+    fn error_transcript(&mut self) -> Vec<(SimTime, ProtoStep)> {
+        if self.auto_trace {
+            self.auto_trace = false;
+            self.take_trace()
+        } else if let Some(log) = &self.trace_log {
+            let mut log = log.clone();
+            log.sort_by_key(|&(t, _)| t);
+            log
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Drop a monitor-armed trace after a successful walk.
+    fn discard_auto_trace(&mut self) {
+        if self.auto_trace {
+            self.auto_trace = false;
+            self.trace_log = None;
+        }
+    }
+
+    /// Close a transaction walk: run the watchdog on the completed access
+    /// and the periodic invariant scan.
+    fn end_walk(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        issued: SimTime,
+        res: Result<AccessOutcome, SimError>,
+    ) -> Result<AccessOutcome, SimError> {
+        let out = match res {
+            Ok(out) => out,
+            Err(e) => {
+                self.discard_auto_trace();
+                return Err(e);
+            }
+        };
+        self.txn_count += 1;
+        let Some(mon) = self.monitor else {
+            return Ok(out);
+        };
+        let latency_ns = out.done.since(issued).as_ns();
+        if latency_ns > mon.max_walk_ns || self.walk_steps > mon.max_walk_steps {
+            return Err(SimError::WalkWatchdog {
+                core,
+                line,
+                latency_ns,
+                limit_ns: mon.max_walk_ns,
+                steps: self.walk_steps,
+                step_limit: mon.max_walk_steps,
+                transcript: self.error_transcript(),
+            });
+        }
+        if self.txn_count.is_multiple_of(mon.check_every.max(1)) {
+            if let Some(violation) = monitor::scan(self) {
+                return Err(SimError::InvariantViolation {
+                    violation,
+                    txn: self.txn_count,
+                    transcript: self.error_transcript(),
+                });
+            }
+        }
+        self.discard_auto_trace();
+        Ok(out)
+    }
+
+    /// Build the error for a decision-table action the walk cannot handle.
+    fn unexpected(
+        &mut self,
+        req: ReqType,
+        action: CaAction,
+        core: CoreId,
+        line: LineAddr,
+    ) -> SimError {
+        SimError::UnexpectedAction {
+            req,
+            action,
+            core,
+            line,
+            transcript: self.error_transcript(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -440,25 +592,54 @@ impl System {
     // ------------------------------------------------------------------
 
     /// Simulate a load by `core` of `line` issued at `t`.
+    ///
+    /// Panicking wrapper over [`try_read`](Self::try_read): a protocol
+    /// error aborts with the full diagnostic (including the transcript
+    /// when the monitor or a trace is armed).
     pub fn read(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        match self.try_read(core, line, t) {
+            Ok(out) => out,
+            Err(e) => panic!("simulation error: {}", e.diagnostic()),
+        }
+    }
+
+    /// Simulate a load by `core` of `line` issued at `t`, reporting
+    /// protocol errors instead of panicking.
+    pub fn try_read(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+    ) -> Result<AccessOutcome, SimError> {
+        self.begin_walk();
+        let res = self.read_walk(core, line, t);
+        self.end_walk(core, line, t, res)
+    }
+
+    fn read_walk(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+    ) -> Result<AccessOutcome, SimError> {
         let ci = core.0 as usize;
         // L1 hit.
         if let Some(&st) = self.l1[ci].access(line).map(|s| &*s) {
             if st == CoreState::Shared {
                 if let Some(out) = self.shared_hit_reclaim(core, line, t) {
-                    return out;
+                    return Ok(out);
                 }
             }
             self.log(t, ProtoStep::PrivateHit { level: 1 });
             let out = AccessOutcome { done: t + self.ns(self.cal.t_l1), source: DataSource::SelfL1 };
             self.stats.tally_read(out.source);
-            return out;
+            return Ok(out);
         }
         // L2 hit.
         if let Some(&st) = self.l2[ci].access(line).map(|s| &*s) {
             if st == CoreState::Shared {
                 if let Some(out) = self.shared_hit_reclaim(core, line, t) {
-                    return out;
+                    return Ok(out);
                 }
             }
             // Refill L1.
@@ -466,11 +647,11 @@ impl System {
             self.log(t, ProtoStep::PrivateHit { level: 2 });
             let out = AccessOutcome { done: t + self.ns(self.cal.t_l2), source: DataSource::SelfL2 };
             self.stats.tally_read(out.source);
-            return out;
+            return Ok(out);
         }
-        let out = self.read_via_ca(core, line, t);
+        let out = self.read_via_ca(core, line, t)?;
         self.stats.tally_read(out.source);
-        out
+        Ok(out)
     }
 
     /// The paper's F-state reclaim effect (§VI-C, Fig. 9): a hit on a
@@ -479,17 +660,14 @@ impl System {
     fn shared_hit_reclaim(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> Option<AccessOutcome> {
         let node = self.topo.node_of_core(core);
         let slice = self.topo.slice_for_line(line, node);
-        if self.l3[slice.0 as usize].peek(line).map(|m| m.state) != Some(MesifState::Shared) {
-            return None;
-        }
-        self.log(t, ProtoStep::ForwardReclaim);
         // Reclaim: this node becomes the forwarder; the previous F holder
         // (if any) demotes to Shared. The demotion is an asynchronous
         // notification and does not lengthen this load.
-        self.l3[slice.0 as usize]
-            .peek_mut(line)
-            .expect("checked above")
-            .state = MesifState::Forward;
+        match self.l3[slice.0 as usize].peek_mut(line) {
+            Some(m) if m.state == MesifState::Shared => m.state = MesifState::Forward,
+            _ => return None,
+        }
+        self.log(t, ProtoStep::ForwardReclaim);
         let my_node = node;
         let holders: Vec<NodeId> = self
             .topo
@@ -516,7 +694,12 @@ impl System {
     }
 
     /// Node-level read: consult the local caching agent.
-    fn read_via_ca(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+    fn read_via_ca(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+    ) -> Result<AccessOutcome, SimError> {
         let node = self.topo.node_of_core(core);
         let local = self.topo.node_local_core(core);
         let slice = self.topo.slice_for_line(line, node);
@@ -532,23 +715,30 @@ impl System {
                 let done = self
                     .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
                     + self.ns(self.cal.t_fill);
-                let meta = self.l3[slice.0 as usize].peek_mut(line).expect("hit");
-                meta.add_core(local);
-                let core_state = if meta.cv == 1 << local
-                    && matches!(meta.state, MesifState::Exclusive | MesifState::Modified)
-                {
-                    CoreState::Exclusive
-                } else {
-                    CoreState::Shared
+                // The line can only have vanished between the lookup above
+                // and here through injected corruption; fill Shared and let
+                // the invariant scan report the damage.
+                let core_state = match self.l3[slice.0 as usize].peek_mut(line) {
+                    Some(meta) => {
+                        meta.add_core(local);
+                        if meta.cv == 1 << local
+                            && matches!(meta.state, MesifState::Exclusive | MesifState::Modified)
+                        {
+                            CoreState::Exclusive
+                        } else {
+                            CoreState::Shared
+                        }
+                    }
+                    None => CoreState::Shared,
                 };
                 self.fill_private(core, line, core_state, done);
-                AccessOutcome { done, source: DataSource::LocalL3 }
+                Ok(AccessOutcome { done, source: DataSource::LocalL3 })
             }
             CaAction::SnoopLocalCore { local_core } => {
-                self.local_core_snoop_read(core, line, t_at_ca, slice, node, local, local_core)
+                Ok(self.local_core_snoop_read(core, line, t_at_ca, slice, node, local, local_core))
             }
-            CaAction::Miss => self.node_miss_read(core, line, t_at_ca, slice, node, local),
-            other => unreachable!("read produced {other:?}"),
+            CaAction::Miss => Ok(self.node_miss_read(core, line, t_at_ca, slice, node, local)),
+            other => Err(self.unexpected(ReqType::Read, other, core, line)),
         }
     }
 
@@ -604,9 +794,10 @@ impl System {
             let done = self
                 .send(t_probe_done, Endpoint::Core(target), Endpoint::Core(core), self.cal.msg_data)
                 + self.ns(self.cal.t_fill);
-            let meta = self.l3[slice.0 as usize].peek_mut(line).expect("inclusive");
-            meta.state = MesifState::Modified; // L3 absorbs the dirty data
-            meta.add_core(local);
+            if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
+                meta.state = MesifState::Modified; // L3 absorbs the dirty data
+                meta.add_core(local);
+            }
             self.fill_private(core, line, CoreState::Shared, done);
             AccessOutcome { done, source: DataSource::LocalCore }
         } else {
@@ -628,8 +819,9 @@ impl System {
             let done = self
                 .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
                 + self.ns(self.cal.t_fill);
-            let meta = self.l3[slice.0 as usize].peek_mut(line).expect("inclusive");
-            meta.add_core(local);
+            if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
+                meta.add_core(local);
+            }
             self.fill_private(core, line, CoreState::Shared, done);
             AccessOutcome { done, source: DataSource::LocalL3 }
         }
@@ -648,6 +840,17 @@ impl System {
         self.stats.snoops_sent += 1;
         self.log(t_sent, ProtoStep::SnoopPeer { node: peer });
         let pslice = self.topo.slice_for_line(line, peer);
+        // Injected message faults (see `crate::inject`): a dropped snoop
+        // fabricates an instant "no copy" response without consulting the
+        // peer at all; a delayed one stalls before delivery.
+        if self.faults.take_drop() {
+            let resp_at_ha = self.send(t_sent, from, Endpoint::Ha(ha), self.cal.msg_ctl);
+            return PeerProbe { resp_at_ha, forward: None, keeps_copy: false };
+        }
+        let t_sent = match self.faults.take_delay() {
+            Some(delay_ns) => t_sent + self.ns(delay_ns),
+            None => t_sent,
+        };
         let t_at_peer = self.send(t_sent, from, Endpoint::Slice(pslice), self.cal.msg_ctl);
         let t_lookup = t_at_peer + self.ns(self.cal.t_l3_tag);
 
@@ -708,7 +911,9 @@ impl System {
                     self.mem[ha.0 as usize].access(resp_at_ha, line, true);
                     self.stats.dram_writebacks += 1;
                 }
-                *self.l3[pslice.0 as usize].peek_mut(line).expect("present") = m;
+                if let Some(slot) = self.l3[pslice.0 as usize].peek_mut(line) {
+                    *slot = m;
+                }
                 self.log(data_at, ProtoStep::PeerForward { node: peer, from_core: true });
                 return PeerProbe { resp_at_ha, forward: Some((data_at, source)), keeps_copy: true };
             }
@@ -748,7 +953,9 @@ impl System {
                 self.mem[ha.0 as usize].access(resp_at_ha, line, true);
                 self.stats.dram_writebacks += 1;
             }
-            *self.l3[pslice.0 as usize].peek_mut(line).expect("present") = m;
+            if let Some(slot) = self.l3[pslice.0 as usize].peek_mut(line) {
+                *slot = m;
+            }
             self.log(data_at, ProtoStep::PeerForward { node: peer, from_core: false });
             PeerProbe { resp_at_ha, forward: Some((data_at, source)), keeps_copy: true }
         } else {
@@ -931,9 +1138,13 @@ impl System {
                         .allocate(line, HitMeEntry { nodes, clean: true });
                     hitme_live = true;
                 } else if hitme_hit.is_some() {
+                    // An Exclusive grant can be upgraded to Modified
+                    // silently, so the entry may only claim the memory
+                    // copy valid for shared grants.
+                    let clean = !matches!(granted, MesifState::Exclusive);
                     self.hitme[ha.0 as usize].update(line, |e| {
                         e.nodes.insert(node);
-                        e.clean = true;
+                        e.clean = clean;
                     });
                     hitme_live = true;
                 }
@@ -950,7 +1161,35 @@ impl System {
     // ------------------------------------------------------------------
 
     /// Simulate a store by `core` to `line` issued at `t`.
+    ///
+    /// Panicking wrapper over [`try_write`](Self::try_write); see
+    /// [`read`](Self::read).
     pub fn write(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        match self.try_write(core, line, t) {
+            Ok(out) => out,
+            Err(e) => panic!("simulation error: {}", e.diagnostic()),
+        }
+    }
+
+    /// Simulate a store by `core` to `line` issued at `t`, reporting
+    /// protocol errors instead of panicking.
+    pub fn try_write(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+    ) -> Result<AccessOutcome, SimError> {
+        self.begin_walk();
+        let res = self.write_walk(core, line, t);
+        self.end_walk(core, line, t, res)
+    }
+
+    fn write_walk(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+    ) -> Result<AccessOutcome, SimError> {
         let ci = core.0 as usize;
         if let Some(st) = self.l1[ci].access(line) {
             if st.can_write() {
@@ -958,13 +1197,13 @@ impl System {
                 if let Some(s2) = self.l2[ci].peek_mut(line) {
                     *s2 = CoreState::Modified;
                 }
-                return AccessOutcome { done: t + self.ns(self.cal.t_l1), source: DataSource::SelfL1 };
+                return Ok(AccessOutcome { done: t + self.ns(self.cal.t_l1), source: DataSource::SelfL1 });
             }
         } else if let Some(st) = self.l2[ci].access(line) {
             if st.can_write() {
                 *st = CoreState::Modified;
                 self.fill_private(core, line, CoreState::Modified, t);
-                return AccessOutcome { done: t + self.ns(self.cal.t_l2), source: DataSource::SelfL2 };
+                return Ok(AccessOutcome { done: t + self.ns(self.cal.t_l2), source: DataSource::SelfL2 });
             }
         }
         // Shared hit or miss: needs ownership via the CA.
@@ -972,7 +1211,12 @@ impl System {
         self.rfo_via_ca(core, line, t)
     }
 
-    fn rfo_via_ca(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+    fn rfo_via_ca(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+    ) -> Result<AccessOutcome, SimError> {
         let node = self.topo.node_of_core(core);
         let local = self.topo.node_local_core(core);
         let slice = self.topo.slice_for_line(line, node);
@@ -990,11 +1234,12 @@ impl System {
                 let done = self
                     .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
                     + self.ns(self.cal.t_fill);
-                let meta = self.l3[slice.0 as usize].peek_mut(line).expect("hit");
-                meta.state = MesifState::Modified;
-                meta.cv = 1 << local;
+                if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
+                    meta.state = MesifState::Modified;
+                    meta.cv = 1 << local;
+                }
                 self.fill_private(core, line, CoreState::Modified, done);
-                AccessOutcome { done, source: DataSource::LocalL3 }
+                Ok(AccessOutcome { done, source: DataSource::LocalL3 })
             }
             CaAction::UpgradeNeeded { invalidate_cv } => {
                 // Invalidate local sharers, then obtain global ownership.
@@ -1004,9 +1249,10 @@ impl System {
                     t_at_ca + self.ns(self.cal.t_l3_tag)
                 };
                 let done = self.global_invalidate(core, line, t_local, slice, node, false);
-                let meta = self.l3[slice.0 as usize].peek_mut(line).expect("hit");
-                meta.state = MesifState::Modified;
-                meta.cv = 1 << local;
+                if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
+                    meta.state = MesifState::Modified;
+                    meta.cv = 1 << local;
+                }
                 self.fill_private(core, line, CoreState::Modified, done);
                 // Ownership changed hands: the home's directory state and
                 // any HitME entry must reflect the new single dirty owner.
@@ -1025,7 +1271,7 @@ impl System {
                         }
                     }
                 }
-                AccessOutcome { done, source: DataSource::LocalL3 }
+                Ok(AccessOutcome { done, source: DataSource::LocalL3 })
             }
             CaAction::Miss => {
                 // Full RFO: fetch data with ownership.
@@ -1049,16 +1295,24 @@ impl System {
                     let ha = self.topo.ha_for_line(line);
                     let home = self.topo.home_node_of_line(line);
                     self.dir[ha.0 as usize].set(line, dir_after_rfo(node, home));
-                    if self.proto.hitme && node != home {
-                        self.hitme[ha.0 as usize].update(line, |e| {
-                            e.nodes = NodeSet::only(node);
-                            e.clean = false;
-                        });
+                    if self.proto.hitme {
+                        if node == home {
+                            // Home reclaims ownership: a HitME entry left
+                            // over from an earlier cache-to-cache transfer
+                            // would now claim stale sharers / a clean
+                            // memory copy.
+                            self.hitme[ha.0 as usize].invalidate(line);
+                        } else {
+                            self.hitme[ha.0 as usize].update(line, |e| {
+                                e.nodes = NodeSet::only(node);
+                                e.clean = false;
+                            });
+                        }
                     }
                 }
-                AccessOutcome { done, source: out.source }
+                Ok(AccessOutcome { done, source: out.source })
             }
-            other => unreachable!("rfo produced {other:?}"),
+            other => Err(self.unexpected(ReqType::Rfo, other, core, line)),
         }
     }
 
@@ -1165,8 +1419,7 @@ impl System {
         let slice = self.topo.slice_for_line(line, node);
         // Invalidate other cached copies if the line is resident anywhere.
         let mut t_wc = t + self.ns(self.cal.t_fill);
-        if self.l3[slice.0 as usize].contains(line) {
-            let meta = *self.l3[slice.0 as usize].peek(line).expect("checked");
+        if let Some(meta) = self.l3[slice.0 as usize].peek(line).copied() {
             let cv = meta.cv & !(1u32 << self.topo.node_local_core(core));
             if cv != 0 {
                 t_wc = self.invalidate_local_cores(node, line, cv, t_wc, slice);

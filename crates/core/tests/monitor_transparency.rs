@@ -1,0 +1,89 @@
+//! The runtime invariant monitor must be an observer, not a participant:
+//! enabling it on a fault-free run changes no simulated value, and the
+//! paper workloads it brackets (the Fig. 4 latency chases and the
+//! Table III cross-core transfer cells) report zero violations.
+
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{pointer_chase, Buffer};
+use hswx_haswell::placement::{Level, PlacedState, Placement};
+use hswx_haswell::{CoherenceMode, MonitorConfig, System, SystemConfig};
+use hswx_mem::{CoreId, NodeId};
+
+fn system(mode: CoherenceMode, monitored: bool) -> System {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    if monitored {
+        sys.enable_monitor(MonitorConfig { check_every: 16, ..MonitorConfig::default() });
+    }
+    sys
+}
+
+/// One Fig. 4 style cell: a local core chases a remote core's Modified
+/// working set. Returns the mean load-to-use latency.
+fn fig4_cell(mode: CoherenceMode, level: Level, monitored: bool) -> f64 {
+    let mut sys = system(mode, monitored);
+    let owner = sys.topo.cores_of_node(NodeId(1))[0];
+    let buf = Buffer::on_node(&sys, NodeId(1), 64 * 1024, 0);
+    let t = Placement::modified(&mut sys, owner, &buf.lines, level, SimTime::ZERO);
+    let m = pointer_chase(&mut sys, CoreId(0), &buf.lines, t, 7);
+    assert_eq!(sys.check_invariants(), None, "fault-free {mode:?} run must be clean");
+    m.ns_per_access
+}
+
+/// One Table III style cell: read latency for each placed state from a
+/// same-node sibling core. Returns the three latencies (M, E, S).
+fn table3_row(mode: CoherenceMode, monitored: bool) -> [f64; 3] {
+    let states = [PlacedState::Modified, PlacedState::Exclusive, PlacedState::Shared];
+    states.map(|state| {
+        let mut sys = system(mode, monitored);
+        let buf = Buffer::on_node(&sys, NodeId(0), 32 * 1024, 0);
+        let t = Placement::place(
+            &mut sys,
+            state,
+            &[CoreId(1)],
+            &buf.lines,
+            Level::L2,
+            SimTime::ZERO,
+        );
+        let m = pointer_chase(&mut sys, CoreId(0), &buf.lines, t, 11);
+        assert_eq!(sys.check_invariants(), None);
+        m.ns_per_access
+    })
+}
+
+#[test]
+fn fig4_latencies_identical_with_monitor_enabled() {
+    for mode in CoherenceMode::all() {
+        for level in [Level::L2, Level::L3] {
+            let plain = fig4_cell(mode, level, false);
+            let watched = fig4_cell(mode, level, true);
+            assert_eq!(
+                plain.to_bits(),
+                watched.to_bits(),
+                "{mode:?}/{level:?}: monitor changed the result ({plain} vs {watched})"
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_latencies_identical_with_monitor_enabled() {
+    for mode in CoherenceMode::all() {
+        let plain = table3_row(mode, false);
+        let watched = table3_row(mode, true);
+        for (p, w) in plain.iter().zip(&watched) {
+            assert_eq!(
+                p.to_bits(),
+                w.to_bits(),
+                "{mode:?}: monitor changed a Table III cell ({plain:?} vs {watched:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn monitor_toggle_round_trip() {
+    let mut sys = system(CoherenceMode::ClusterOnDie, true);
+    assert_eq!(sys.monitor_config().map(|c| c.check_every), Some(16));
+    sys.disable_monitor();
+    assert!(sys.monitor_config().is_none());
+}

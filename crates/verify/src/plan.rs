@@ -1,0 +1,234 @@
+//! Reproducible fault-campaign plans.
+//!
+//! A [`FaultPlan`] pins everything a campaign needs to be replayed
+//! bit-for-bit: the RNG seed, the number of trials per matrix cell, and
+//! the fault classes to exercise. Plans round-trip through a small
+//! line-oriented text format (`key = value`, `#` comments) so campaigns
+//! can be stored next to CI configs and attached to bug reports.
+
+use std::fmt;
+
+/// One class of injected protocol-state corruption.
+///
+/// Classes marked *conservative-overstatement* in the paper's terminology
+/// (a directory claiming more sharers than exist) are legal states by
+/// design and therefore not represented here: the campaign only injects
+/// corruptions the protocol is supposed to make impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Flip a Shared node-level copy to Forward, minting a second
+    /// forwardable copy of the line.
+    MintForwarder,
+    /// Flip a Shared node-level copy to Modified while other copies exist.
+    BreakMExclusivity,
+    /// Silently drop a line from an inclusive L3 slice, orphaning the
+    /// private core copies above it.
+    DropL3Line,
+    /// Clear the L3 core-valid bits for a line a core still caches.
+    ClearCoreValid,
+    /// Reset the in-memory directory to remote-invalid while a remote
+    /// node holds the line (COD only).
+    DirUnderstate,
+    /// Remove the dirty owner from a live HitME presence vector (COD
+    /// only).
+    HitMeDropNode,
+    /// Set the clean bit on a HitME entry whose line is held Modified
+    /// (COD only).
+    HitMeFalseClean,
+    /// Make a calibration latency constant negative.
+    CalibNegative,
+    /// Make a calibration constant NaN.
+    CalibNan,
+    /// Swallow snoop messages, fabricating "no copy" responses so a
+    /// requester completes against stale memory data.
+    DropSnoop,
+    /// Stall snoop messages long enough that the transaction walk blows
+    /// its latency budget.
+    DelaySnoop,
+}
+
+impl FaultClass {
+    /// Every class, in reporting order.
+    pub const ALL: [FaultClass; 11] = [
+        FaultClass::MintForwarder,
+        FaultClass::BreakMExclusivity,
+        FaultClass::DropL3Line,
+        FaultClass::ClearCoreValid,
+        FaultClass::DirUnderstate,
+        FaultClass::HitMeDropNode,
+        FaultClass::HitMeFalseClean,
+        FaultClass::CalibNegative,
+        FaultClass::CalibNan,
+        FaultClass::DropSnoop,
+        FaultClass::DelaySnoop,
+    ];
+
+    /// Stable identifier used in plans and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::MintForwarder => "mint-forwarder",
+            FaultClass::BreakMExclusivity => "break-m-exclusivity",
+            FaultClass::DropL3Line => "drop-l3-line",
+            FaultClass::ClearCoreValid => "clear-core-valid",
+            FaultClass::DirUnderstate => "dir-understate",
+            FaultClass::HitMeDropNode => "hitme-drop-node",
+            FaultClass::HitMeFalseClean => "hitme-false-clean",
+            FaultClass::CalibNegative => "calib-negative",
+            FaultClass::CalibNan => "calib-nan",
+            FaultClass::DropSnoop => "drop-snoop",
+            FaultClass::DelaySnoop => "delay-snoop",
+        }
+    }
+
+    /// Parse a [`name`](Self::name) back into the class.
+    pub fn from_name(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.iter().copied().find(|c| c.name() == s)
+    }
+
+    /// Whether the class corrupts in-memory-directory state and therefore
+    /// only applies to directory-enabled (COD) modes.
+    pub fn requires_directory(self) -> bool {
+        matches!(self, FaultClass::DirUnderstate)
+    }
+
+    /// Whether the class corrupts HitME state (COD with HitME enabled).
+    pub fn requires_hitme(self) -> bool {
+        matches!(self, FaultClass::HitMeDropNode | FaultClass::HitMeFalseClean)
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A reproducible fault-injection campaign description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed deriving every per-trial choice (target line, actors).
+    pub seed: u64,
+    /// Trials per (mode, class) matrix cell.
+    pub trials: u32,
+    /// Fault classes to exercise.
+    pub classes: Vec<FaultClass>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xC0FFEE,
+            trials: 4,
+            classes: FaultClass::ALL.to_vec(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A minimal single-trial plan for CI smoke runs.
+    pub fn quick() -> Self {
+        FaultPlan { trials: 1, ..FaultPlan::default() }
+    }
+
+    /// Serialize to the plan text format.
+    pub fn to_text(&self) -> String {
+        let classes: Vec<&str> = self.classes.iter().map(|c| c.name()).collect();
+        format!(
+            "# hswx fault-injection plan\nseed = {:#x}\ntrials = {}\nclasses = {}\n",
+            self.seed,
+            self.trials,
+            classes.join(", ")
+        )
+    }
+
+    /// Parse the plan text format. Unknown keys and class names are
+    /// errors; omitted keys keep their [`Default`] values.
+    pub fn from_text(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`, got {raw:?}", lineno + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = parse_u64(value)
+                        .ok_or_else(|| format!("line {}: bad seed {value:?}", lineno + 1))?;
+                }
+                "trials" => {
+                    plan.trials = parse_u64(value)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| format!("line {}: bad trials {value:?}", lineno + 1))?;
+                }
+                "classes" => {
+                    let mut classes = Vec::new();
+                    for name in value.split(',') {
+                        let name = name.trim();
+                        if name.is_empty() {
+                            continue;
+                        }
+                        let class = FaultClass::from_name(name).ok_or_else(|| {
+                            format!("line {}: unknown fault class {name:?}", lineno + 1)
+                        })?;
+                        if !classes.contains(&class) {
+                            classes.push(class);
+                        }
+                    }
+                    if classes.is_empty() {
+                        return Err(format!("line {}: empty class list", lineno + 1));
+                    }
+                    plan.classes = classes;
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let plan = FaultPlan { seed: 0xDEAD, trials: 7, classes: FaultClass::ALL.to_vec() };
+        let parsed = FaultPlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn parse_subset_and_comments() {
+        let text = "# campaign\nseed = 42\nclasses = drop-snoop, calib-nan # msg faults\n";
+        let plan = FaultPlan::from_text(text).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.trials, FaultPlan::default().trials);
+        assert_eq!(plan.classes, vec![FaultClass::DropSnoop, FaultClass::CalibNan]);
+    }
+
+    #[test]
+    fn rejects_unknown_class_and_key() {
+        assert!(FaultPlan::from_text("classes = flip-bits\n").is_err());
+        assert!(FaultPlan::from_text("sed = 1\n").is_err());
+    }
+
+    #[test]
+    fn every_class_name_round_trips() {
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(class.name()), Some(class));
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub use hswx_engine as engine;
 pub use hswx_haswell as haswell;
 pub use hswx_mem as mem;
 pub use hswx_topology as topology;
+pub use hswx_verify as verify;
 pub use hswx_workloads as workloads;
 
 /// Everything a typical experiment needs.
@@ -39,7 +40,7 @@ pub mod prelude {
         LoadWidth,
     };
     pub use hswx_haswell::placement::{Level, PlacedState, Placement};
-    pub use hswx_haswell::{CoherenceMode, System, SystemConfig};
+    pub use hswx_haswell::{CoherenceMode, MonitorConfig, SimError, System, SystemConfig, Violation};
     pub use hswx_mem::{Addr, CoreId, LineAddr, NodeId};
     pub use hswx_workloads::{mpi2007_proxies, omp2012_proxies, run_proxy};
 }

@@ -1,0 +1,109 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each registered benchmark for a fixed number of samples and
+//! prints mean wall-clock time per iteration. No statistics, plots, or
+//! baselines — just enough to keep `cargo bench` working offline and
+//! make gross regressions visible.
+
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    /// Accumulated time the measured closure spent, ns.
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (each sample runs the closure
+    /// several times and averages).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        const ITERS_PER_SAMPLE: u64 = 3;
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: ITERS_PER_SAMPLE, elapsed_ns: 0 };
+            f(&mut b);
+            total_ns += b.elapsed_ns;
+            total_iters += b.iters;
+        }
+        let per_iter = total_ns as f64 / total_iters.max(1) as f64;
+        println!("bench {name:<48} {:>12.1} ns/iter", per_iter);
+        self
+    }
+}
+
+/// Group benchmark functions under a name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut n = 0u64;
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("smoke", |b| b.iter(|| n += 1));
+        assert!(n > 0);
+    }
+}
