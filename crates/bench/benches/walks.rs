@@ -1,0 +1,36 @@
+//! Criterion view of the `perfbench` walk kernels.
+//!
+//! Same kernels `hswx perfbench` measures for `BENCH_perf.json`, exposed
+//! through the criterion harness for interactive ns/iter comparisons
+//! while optimising (`cargo bench --bench walks`). The tracked regression
+//! gate lives in the CLI (`hswx perfbench --quick`), not here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hswx_bench::perf;
+
+fn perf_kernels(c: &mut Criterion) {
+    // Each criterion iteration runs one kernel end to end — System
+    // construction, warm-up, and a batch of simulated walks — so the
+    // numbers are for *relative* comparison across changes; use
+    // `hswx perfbench` for per-walk throughput.
+    const BATCH: u64 = 1_000;
+    c.bench_function("perf/l1_hit_walk_1k", |b| {
+        b.iter(|| perf::run_kernel_for_bench("l1_hit_walk", BATCH))
+    });
+    c.bench_function("perf/l3_walk_1k", |b| {
+        b.iter(|| perf::run_kernel_for_bench("l3_walk", BATCH))
+    });
+    c.bench_function("perf/mem_walk_1k", |b| {
+        b.iter(|| perf::run_kernel_for_bench("mem_walk", BATCH))
+    });
+    c.bench_function("perf/placement_l3_1k", |b| {
+        b.iter(|| perf::run_kernel_for_bench("placement_l3", BATCH))
+    });
+}
+
+criterion_group! {
+    name = walks;
+    config = Criterion::default().sample_size(10);
+    targets = perf_kernels
+}
+criterion_main!(walks);

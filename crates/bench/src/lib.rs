@@ -7,6 +7,7 @@
 
 pub mod anchors;
 pub mod parallel;
+pub mod perf;
 pub mod scenarios;
 
 pub use anchors::{bandwidth_anchors, latency_anchors, Anchor};

@@ -1,0 +1,410 @@
+//! Tracked performance baseline — the measurement core of `hswx perfbench`.
+//!
+//! Measures *host* throughput of the simulator on a fixed set of walk
+//! kernels (simulated accesses per host second) plus the wall time of a
+//! full figure regeneration, and serialises the result as
+//! `BENCH_perf.json`. The committed baseline lets CI (and humans) catch
+//! hot-path regressions: `compare` fails when any kernel's walks/sec
+//! drops more than the tolerance below the baseline.
+//!
+//! The JSON is written and parsed by hand (the vendored serde stand-in
+//! does not serialise); the parser only understands the writer's own
+//! output, which is all it ever needs to read.
+
+use crate::scenarios::level_of;
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::Buffer;
+use hswx_haswell::placement::{PlacedState, Placement};
+use hswx_haswell::report::sweep_sizes;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr, NodeId};
+use std::time::Instant;
+
+/// One walk kernel's measurement.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Stable kernel name (the comparison key).
+    pub name: &'static str,
+    /// Simulated walks executed.
+    pub walks: u64,
+    /// Host wall time for the measured loop.
+    pub wall_s: f64,
+    /// Walks per host second (the regression metric).
+    pub walks_per_sec: f64,
+}
+
+/// Wall time of a figure regeneration (informational; not compared).
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Figure name.
+    pub name: &'static str,
+    /// Sweep points computed.
+    pub points: usize,
+    /// Host wall time.
+    pub wall_s: f64,
+}
+
+/// A full `perfbench` run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// True for `--quick` runs (fewer iterations, no figure timing).
+    pub quick: bool,
+    /// Walk-kernel measurements.
+    pub kernels: Vec<KernelResult>,
+    /// Figure wall times (empty in quick mode).
+    pub figures: Vec<FigureResult>,
+}
+
+fn kernel(name: &'static str, walks: u64, f: impl FnOnce() -> u64) -> KernelResult {
+    let t0 = Instant::now();
+    let done = f();
+    let wall_s = t0.elapsed().as_secs_f64();
+    debug_assert_eq!(done, walks);
+    KernelResult { name, walks, wall_s, walks_per_sec: walks as f64 / wall_s }
+}
+
+/// Repeated reads of one line resident in the measuring core's L1.
+fn l1_hit_walk(iters: u64) -> KernelResult {
+    let mode = CoherenceMode::SourceSnoop;
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let line = LineAddr(sys.topo.numa_base(NodeId(0)).line().0);
+    let mut t = sys.read(CoreId(0), line, SimTime::ZERO).done;
+    // Untimed warm-up so icache/branch-predictor state doesn't skew the
+    // first measured iterations (kernels are compared across runs).
+    for _ in 0..iters / 4 {
+        t = sys.read(CoreId(0), line, t).done;
+    }
+    kernel("l1_hit_walk", iters, || {
+        for _ in 0..iters {
+            t = sys.read(CoreId(0), line, t).done;
+        }
+        iters
+    })
+}
+
+/// Round-robin reads of 64 L3-resident lines from rotating cores, so the
+/// walk always crosses the ring to the caching agent.
+fn l3_walk(iters: u64) -> KernelResult {
+    let mode = CoherenceMode::SourceSnoop;
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let base = sys.topo.numa_base(NodeId(0)).line().0;
+    let lines: Vec<LineAddr> = (0..64u64).map(|i| LineAddr(base + i)).collect();
+    let mut t = Placement::place(
+        &mut sys,
+        PlacedState::Exclusive,
+        &[CoreId(1)],
+        &lines,
+        hswx_haswell::placement::Level::L3,
+        SimTime::ZERO,
+    );
+    for i in 0..iters / 4 {
+        let core = CoreId(2 + (i % 4) as u16);
+        t = sys.read(core, lines[(i % 64) as usize], t).done;
+    }
+    kernel("l3_walk", iters, || {
+        for i in 0..iters {
+            let core = CoreId(2 + (i % 4) as u16);
+            t = sys.read(core, lines[(i % 64) as usize], t).done;
+        }
+        iters
+    })
+}
+
+/// Cold reads of always-fresh lines: every walk misses the whole
+/// hierarchy and goes to home memory (directory insert included).
+fn mem_walk(iters: u64) -> KernelResult {
+    let mode = CoherenceMode::SourceSnoop;
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let base = sys.topo.numa_base(NodeId(0)).line().0;
+    let mut t = SimTime::ZERO;
+    let warm = iters / 4;
+    for i in 0..warm {
+        t = sys.read(CoreId(0), LineAddr(base + i), t).done;
+    }
+    kernel("mem_walk", iters, || {
+        for i in 0..iters {
+            t = sys.read(CoreId(0), LineAddr(base + warm + i), t).done;
+        }
+        iters
+    })
+}
+
+/// Placement throughput: write + demote a Modified working set into L3
+/// (the setup phase that dominates figure regeneration).
+fn placement_l3(lines_n: u64) -> KernelResult {
+    let mode = CoherenceMode::SourceSnoop;
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let buf = Buffer::on_node(&sys, NodeId(0), lines_n * 64, 0);
+    let lines = buf.lines;
+    let n = lines.len() as u64;
+    // Warm the code path on a separate small buffer (slot 1) so the
+    // measured placement still runs against cold lines.
+    let warm = Buffer::on_node(&sys, NodeId(0), 2048 * 64, 1);
+    Placement::place(
+        &mut sys,
+        PlacedState::Modified,
+        &[CoreId(0)],
+        &warm.lines,
+        hswx_haswell::placement::Level::L3,
+        SimTime::ZERO,
+    );
+    kernel("placement_l3", n, || {
+        Placement::place(
+            &mut sys,
+            PlacedState::Modified,
+            &[CoreId(0)],
+            &lines,
+            hswx_haswell::placement::Level::L3,
+            SimTime::ZERO,
+        );
+        n
+    })
+}
+
+/// Wall time of the full Figure 4 computation (8 series × the paper's
+/// size sweep), without file output.
+fn fig4_wall() -> FigureResult {
+    use crate::scenarios::latency_curve;
+    use PlacedState::{Exclusive, Modified, Shared};
+    let mode = CoherenceMode::SourceSnoop;
+    let sizes = sweep_sizes();
+    let (c0, c1, c2, c12, c13) =
+        (CoreId(0), CoreId(1), CoreId(2), CoreId(12), CoreId(13));
+    let series: [(&[CoreId], PlacedState, NodeId); 8] = [
+        (&[c0], Modified, NodeId(0)),
+        (&[c0], Exclusive, NodeId(0)),
+        (&[c1], Modified, NodeId(0)),
+        (&[c1], Exclusive, NodeId(0)),
+        (&[c1, c2], Shared, NodeId(0)),
+        (&[c12], Modified, NodeId(1)),
+        (&[c12], Exclusive, NodeId(1)),
+        (&[c12, c13], Shared, NodeId(1)),
+    ];
+    let t0 = Instant::now();
+    let mut points = 0usize;
+    for (placers, state, home) in series {
+        points += latency_curve(mode, placers, state, home, c0, &sizes).len();
+    }
+    FigureResult { name: "fig4", points, wall_s: t0.elapsed().as_secs_f64() }
+}
+
+/// Run one named kernel with `walks` iterations and return its walks/sec
+/// (hook for the `walks` criterion bench; panics on an unknown name).
+pub fn run_kernel_for_bench(name: &str, walks: u64) -> f64 {
+    let k = match name {
+        "l1_hit_walk" => l1_hit_walk(walks),
+        "l3_walk" => l3_walk(walks),
+        "mem_walk" => mem_walk(walks),
+        "placement_l3" => placement_l3(walks),
+        other => panic!("unknown perf kernel {other}"),
+    };
+    k.walks_per_sec
+}
+
+/// Best of `reps` runs: each rep rebuilds its `System` from scratch, and
+/// the fastest rep is kept. Throughput gates want the *capability* of the
+/// code, not the mood of the host scheduler — single 40 ms samples on a
+/// busy single-core box swing 2×, which would make the CI gate flaky.
+fn best_of(reps: u32, f: impl Fn() -> KernelResult) -> KernelResult {
+    (0..reps)
+        .map(|_| f())
+        .max_by(|a, b| a.walks_per_sec.total_cmp(&b.walks_per_sec))
+        .expect("reps > 0")
+}
+
+/// Run the kernel suite (and, unless `quick`, the figure timing).
+///
+/// Quick mode runs the *same* kernel measurement (best of three reps at
+/// identical iteration counts — the kernels cost a few seconds combined,
+/// and identical counts keep walks/sec comparable with the committed
+/// full-mode baseline); it skips only the multi-second figure regeneration.
+pub fn run(quick: bool) -> PerfReport {
+    // Touch the geometry cache so first-use costs don't bias the kernels.
+    let _ = level_of(CoherenceMode::SourceSnoop, 1 << 20);
+    const REPS: u32 = 3;
+    let kernels = vec![
+        best_of(REPS, || l1_hit_walk(2_000_000)),
+        best_of(REPS, || l3_walk(1_000_000)),
+        best_of(REPS, || mem_walk(400_000)),
+        best_of(REPS, || placement_l3(32 * 1024)),
+    ];
+    let figures = if quick { Vec::new() } else { vec![fig4_wall()] };
+    PerfReport { quick, kernels, figures }
+}
+
+impl PerfReport {
+    /// Serialise as the committed `BENCH_perf.json` format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", if self.quick { "quick" } else { "full" }));
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"walks\": {}, \"wall_s\": {:.4}, \"walks_per_sec\": {:.1}}}{}\n",
+                k.name,
+                k.walks,
+                k.wall_s,
+                k.walks_per_sec,
+                if i + 1 < self.kernels.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"points\": {}, \"wall_s\": {:.3}}}{}\n",
+                f.name,
+                f.points,
+                f.wall_s,
+                if i + 1 < self.figures.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary table.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<16} {:>10} {:>10} {:>14}\n",
+            "kernel", "walks", "wall s", "walks/sec"
+        ));
+        for k in &self.kernels {
+            s.push_str(&format!(
+                "{:<16} {:>10} {:>10.3} {:>14.0}\n",
+                k.name, k.walks, k.wall_s, k.walks_per_sec
+            ));
+        }
+        for f in &self.figures {
+            s.push_str(&format!(
+                "{:<16} {:>10} {:>10.3} {:>14}\n",
+                f.name,
+                format!("{} pts", f.points),
+                f.wall_s,
+                "-"
+            ));
+        }
+        s
+    }
+}
+
+/// Extract `(name, walks_per_sec)` pairs from a `BENCH_perf.json` written
+/// by [`PerfReport::to_json`]. Returns an empty list on malformed input.
+pub fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("{\"name\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else { continue };
+        let name = &chunk[..name_end];
+        let Some(pos) = chunk.find("\"walks_per_sec\": ") else { continue };
+        let rest = &chunk[pos + "\"walks_per_sec\": ".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Compare a run against a parsed baseline. Returns `Err` lines for every
+/// kernel whose walks/sec fell more than `tolerance` (fraction, e.g. 0.30)
+/// below the baseline value; kernels absent from the baseline are skipped.
+pub fn compare(
+    report: &PerfReport,
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for k in &report.kernels {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == k.name) else {
+            ok.push(format!("{:<16} {:>14.0} walks/sec (no baseline entry)", k.name, k.walks_per_sec));
+            continue;
+        };
+        let ratio = k.walks_per_sec / base;
+        let line = format!(
+            "{:<16} {:>14.0} walks/sec vs baseline {:>14.0} ({:+.1}%)",
+            k.name,
+            k.walks_per_sec,
+            base,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - tolerance {
+            bad.push(line);
+        } else {
+            ok.push(line);
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> PerfReport {
+        PerfReport {
+            quick: true,
+            kernels: vec![
+                KernelResult { name: "l1_hit_walk", walks: 10, wall_s: 0.5, walks_per_sec: 20.0 },
+                KernelResult { name: "mem_walk", walks: 10, wall_s: 2.0, walks_per_sec: 5.0 },
+            ],
+            figures: vec![FigureResult { name: "fig4", points: 264, wall_s: 12.0 }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let r = tiny_report();
+        let parsed = parse_baseline(&r.to_json());
+        assert_eq!(
+            parsed,
+            vec![("l1_hit_walk".to_string(), 20.0), ("mem_walk".to_string(), 5.0)]
+        );
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let r = tiny_report();
+        let baseline = vec![("l1_hit_walk".to_string(), 25.0), ("mem_walk".to_string(), 6.0)];
+        // 20 vs 25 is -20%, 5 vs 6 is -16.7%: both inside 30%.
+        assert!(compare(&r, &baseline, 0.30).is_ok());
+    }
+
+    #[test]
+    fn compare_fails_beyond_tolerance() {
+        let r = tiny_report();
+        let baseline = vec![("l1_hit_walk".to_string(), 40.0)];
+        // 20 vs 40 is -50%.
+        let err = compare(&r, &baseline, 0.30).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("l1_hit_walk"));
+    }
+
+    #[test]
+    fn missing_baseline_entries_are_skipped() {
+        let r = tiny_report();
+        let baseline = vec![("unrelated".to_string(), 1.0)];
+        assert!(compare(&r, &baseline, 0.30).is_ok());
+    }
+
+    #[test]
+    fn quick_kernels_run_and_report_positive_throughput() {
+        // Miniature run so the suite stays fast: exercise each kernel with
+        // a tiny iteration count through the public entry points.
+        let k = super::l1_hit_walk(256);
+        assert!(k.walks_per_sec > 0.0);
+        let k = super::mem_walk(256);
+        assert!(k.walks_per_sec > 0.0);
+    }
+}

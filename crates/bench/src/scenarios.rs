@@ -12,6 +12,45 @@ use hswx_haswell::microbench::{
 use hswx_haswell::placement::{Level, Placement, PlacedState};
 use hswx_haswell::{CoherenceMode, System, SystemConfig};
 use hswx_mem::{CoreId, LineAddr, NodeId};
+use std::sync::OnceLock;
+
+/// Capacity summary for one coherence mode, derived once from the static
+/// config + topology. Sweep drivers classify buffer sizes thousands of
+/// times; building (and dropping) a full 24-core `System` per call just to
+/// read three capacity fields dominated sweep setup cost.
+#[derive(Debug, Clone, Copy)]
+struct GeomSummary {
+    /// L1D capacity, bytes.
+    l1: u64,
+    /// L2 capacity, bytes.
+    l2: u64,
+    /// L3 capacity visible to one NUMA node, bytes (halved under COD).
+    l3_node: u64,
+}
+
+fn geom_summary(mode: CoherenceMode) -> GeomSummary {
+    static CACHE: OnceLock<[GeomSummary; 3]> = OnceLock::new();
+    let all = CACHE.get_or_init(|| {
+        [
+            CoherenceMode::SourceSnoop,
+            CoherenceMode::HomeSnoop,
+            CoherenceMode::ClusterOnDie,
+        ]
+        .map(|m| {
+            let cfg = SystemConfig::e5_2680_v3(m);
+            let topo =
+                hswx_topology::SystemTopology::new(cfg.sockets, cfg.die, cfg.mode.cod());
+            let first = topo.nodes().next().expect("nodes");
+            let slices = topo.slices_of_node(first).len() as u64;
+            GeomSummary {
+                l1: cfg.l1.size_bytes,
+                l2: cfg.l2.size_bytes,
+                l3_node: cfg.l3_slice.size_bytes * slices,
+            }
+        })
+    });
+    all[mode as usize]
+}
 
 /// Size presets per target level (sampled beyond [`Buffer::MAX_SIM_LINES`]).
 pub fn size_for_level(level: Level) -> u64 {
@@ -221,9 +260,21 @@ pub fn bandwidth_curve(
 }
 
 /// The cache level a data set of `size` bytes lands in, per mode.
+///
+/// Same thresholds as [`Placement::level_for_size`], answered from the
+/// cached [`GeomSummary`] instead of a throwaway `System` (asserted
+/// equivalent in this module's tests).
 pub fn level_of(mode: CoherenceMode, size: u64) -> Level {
-    let sys = System::new(SystemConfig::e5_2680_v3(mode));
-    Placement::level_for_size(&sys, size)
+    let g = geom_summary(mode);
+    if size <= g.l1 {
+        Level::L1
+    } else if size <= g.l2 {
+        Level::L2
+    } else if size <= g.l3_node {
+        Level::L3
+    } else {
+        Level::Memory
+    }
 }
 
 /// Convenience: first core of a node in the given mode.
@@ -240,4 +291,33 @@ pub fn nth_core_of(mode: CoherenceMode, node: u8, n: usize) -> CoreId {
     let topo =
         hswx_topology::SystemTopology::new(sys_cfg.sockets, sys_cfg.die, sys_cfg.mode.cod());
     topo.cores_of_node(NodeId(node))[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cached-summary classifier must agree with the `System`-backed
+    /// oracle at every sweep size, including the capacity boundaries.
+    #[test]
+    fn level_of_matches_system_backed_oracle() {
+        for mode in [
+            CoherenceMode::SourceSnoop,
+            CoherenceMode::HomeSnoop,
+            CoherenceMode::ClusterOnDie,
+        ] {
+            let sys = System::new(SystemConfig::e5_2680_v3(mode));
+            let mut sizes = hswx_haswell::report::sweep_sizes();
+            for b in [32 * 1024u64, 256 * 1024, 2560 * 1024, 10 << 20, 20 << 20] {
+                sizes.extend_from_slice(&[b - 1, b, b + 1]);
+            }
+            for size in sizes {
+                assert_eq!(
+                    level_of(mode, size),
+                    Placement::level_for_size(&sys, size),
+                    "mode {mode:?}, size {size}"
+                );
+            }
+        }
+    }
 }

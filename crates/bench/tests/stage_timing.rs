@@ -1,0 +1,94 @@
+//! Host-profiling diagnostics (ignored by default): break one sweep
+//! point into its stages (System construction, buffer layout, placement,
+//! pointer chase) and time raw L1/L3 walk loops. Run when chasing a
+//! `perfbench` regression to see which stage moved:
+//!
+//! ```text
+//! cargo test -p hswx-bench --release --test stage_timing -- --ignored --nocapture
+//! ```
+
+use hswx_bench::scenarios::level_of;
+use hswx_engine::SimTime;
+use hswx_haswell::microbench::{pointer_chase, Buffer};
+use hswx_haswell::placement::Placement;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, NodeId};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn walk_micro_timing() {
+    let mode = CoherenceMode::SourceSnoop;
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let base = sys.topo.numa_base(NodeId(0)).line().0;
+    let mut t = SimTime::ZERO;
+    // L1-hit walks: same line over and over.
+    let line = hswx_mem::LineAddr(base);
+    let out = sys.read(CoreId(0), line, t);
+    t = out.done;
+    let n = 200_000;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let out = sys.read(CoreId(0), line, t);
+        t = out.done;
+    }
+    eprintln!("L1-hit walk: {:.0} ns", t0.elapsed().as_nanos() as f64 / n as f64);
+    // L3-hit walks: 64 lines placed in L3, read round-robin from a
+    // different core each time so they never promote into L1.
+    let lines: Vec<hswx_mem::LineAddr> =
+        (0..64u64).map(|i| hswx_mem::LineAddr(base + 4096 + i)).collect();
+    let tt = Placement::place(
+        &mut sys,
+        hswx_haswell::placement::PlacedState::Exclusive,
+        &[CoreId(1)],
+        &lines,
+        hswx_haswell::placement::Level::L3,
+        t,
+    );
+    t = tt;
+    let t0 = Instant::now();
+    for i in 0..n {
+        let out = sys.read(CoreId(2 + (i % 4) as u16), lines[i % 64], t);
+        t = out.done;
+    }
+    eprintln!("L3-ish walk: {:.0} ns", t0.elapsed().as_nanos() as f64 / n as f64);
+}
+
+#[test]
+#[ignore]
+fn stage_timing() {
+    for size in [1u64 << 20, 16 << 20, 64 << 20] {
+        let mode = CoherenceMode::SourceSnoop;
+        let t0 = Instant::now();
+        let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+        let t_sys = t0.elapsed();
+        let t0 = Instant::now();
+        let buf = Buffer::on_node(&sys, NodeId(0), size, 0);
+        let t_buf = t0.elapsed();
+        let level = level_of(mode, size);
+        let t0 = Instant::now();
+        let t = Placement::place(
+            &mut sys,
+            hswx_haswell::placement::PlacedState::Modified,
+            &[CoreId(0)],
+            &buf.lines,
+            level,
+            SimTime::ZERO,
+        );
+        let t_place = t0.elapsed();
+        let t0 = Instant::now();
+        let m = pointer_chase(&mut sys, CoreId(0), &buf.lines, t, 0xC0FFEE);
+        let t_chase = t0.elapsed();
+        eprintln!(
+            "size {:>9} lines {:>6} level {:?}: sys {:?} buf {:?} place {:?} chase {:?} ({:.0} ns/chase-access)",
+            size,
+            buf.lines.len(),
+            level,
+            t_sys,
+            t_buf,
+            t_place,
+            t_chase,
+            t_chase.as_nanos() as f64 / m.samples as f64,
+        );
+    }
+}

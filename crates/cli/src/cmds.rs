@@ -25,12 +25,17 @@ USAGE:
   hswx faultcheck [--plan FILE] [--seed N] [--trials N] [--classes a,b,..] [--quick]
                  (fault-injection campaign: asserts the invariant monitor
                   detects every injected corruption in all three modes)
+  hswx perfbench [--quick] [--baseline FILE] [--write-baseline] [--out FILE]
+                 [--tolerance PCT]
+                 (host-throughput walk kernels vs the committed
+                  BENCH_perf.json; exits nonzero on a regression)
 
 EXAMPLES:
   hswx latency --state M --level l1 --placer 1 --measurer 0
   hswx bandwidth --level mem --size 67108864 --width avx
   hswx replay mytrace.txt --mode cod --window 8
-  hswx faultcheck --quick";
+  hswx faultcheck --quick
+  hswx perfbench --quick";
 
 fn mode_of(flags: &Flags) -> Result<CoherenceMode, String> {
     match flags.get("mode", "source") {
@@ -288,6 +293,72 @@ pub fn faultcheck(argv: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("fault-injection campaign found detection gaps (matrix above)".into())
+    }
+}
+
+/// `hswx perfbench` — measure simulator host throughput on the fixed walk
+/// kernels and compare against the committed `BENCH_perf.json` baseline.
+///
+/// * default: full kernel suite + Figure 4 wall time, compared against the
+///   baseline file when it exists;
+/// * `--quick`: reduced iteration counts, no figure timing (the CI smoke
+///   configuration);
+/// * `--write-baseline`: write the run to the baseline file instead of
+///   comparing (use after intentional performance changes);
+/// * `--out FILE`: also dump the run's JSON to `FILE`;
+/// * `--tolerance PCT`: allowed walks/sec drop before failing (default 30).
+pub fn perfbench(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["quick", "write-baseline"])?;
+    let quick = flags.has("quick");
+    let baseline_path = flags.get("baseline", "BENCH_perf.json").to_string();
+    let tolerance = flags.get_parse("tolerance", 30.0f64)? / 100.0;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err("--tolerance must be in 0..100".into());
+    }
+
+    eprintln!("running {} perfbench suite...", if quick { "quick" } else { "full" });
+    let report = hswx_bench::perf::run(quick);
+    print!("{}", report.to_text());
+
+    if let Some(out) = flags.map_get("out") {
+        std::fs::write(out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    }
+    if flags.has("write-baseline") {
+        std::fs::write(&baseline_path, report.to_json())
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        println!("baseline written to {baseline_path}");
+        return Ok(());
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("no baseline at {baseline_path}; run with --write-baseline to create one");
+            return Ok(());
+        }
+    };
+    let baseline = hswx_bench::perf::parse_baseline(&text);
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no kernel entries found"));
+    }
+    match hswx_bench::perf::compare(&report, &baseline, tolerance) {
+        Ok(lines) => {
+            println!("vs {baseline_path} (tolerance {:.0}%):", tolerance * 100.0);
+            for l in lines {
+                println!("  ok   {l}");
+            }
+            Ok(())
+        }
+        Err(lines) => {
+            for l in &lines {
+                println!("  FAIL {l}");
+            }
+            Err(format!(
+                "{} kernel(s) regressed more than {:.0}% vs {baseline_path}",
+                lines.len(),
+                tolerance * 100.0
+            ))
+        }
     }
 }
 

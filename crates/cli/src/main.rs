@@ -9,6 +9,7 @@
 //! hswx replay    FILE [--mode MODE] [--window N]
 //! hswx explain   [latency flags]
 //! hswx apps      [--accesses N]
+//! hswx perfbench [--quick] [--baseline FILE] [--write-baseline]
 //! ```
 //!
 //! `MODE` is `source` (default), `home`, or `cod`.
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "explain" => cmds::explain(rest),
         "apps" => cmds::apps(rest),
         "faultcheck" => cmds::faultcheck(rest),
+        "perfbench" => cmds::perfbench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);
             Ok(())

@@ -12,17 +12,19 @@
 //! the paper's Table V broadcast penalty of 78–89 ns.
 
 use crate::state::DirState;
+use hswx_engine::FxHashMap;
 use hswx_mem::LineAddr;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Per-home-agent in-memory directory.
 ///
 /// Lines absent from the map are `RemoteInvalid` (the reset state of the
-/// whole memory).
+/// whole memory). Keyed with the deterministic Fx hasher: directory
+/// lookups sit on the home-snoop hot path and `LineAddr` keys are
+/// trusted simulation state, so SipHash buys nothing here.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InMemoryDirectory {
-    entries: HashMap<LineAddr, DirState>,
+    entries: FxHashMap<LineAddr, DirState>,
     /// Directory state transitions performed (deferred ECC writes).
     pub writes: u64,
     /// Directory lookups served.

@@ -89,7 +89,7 @@ impl<'a> Analytic<'a> {
         // Per-slice composition, then average (the probe leg depends on
         // which slice the line hashed to).
         let mut total = 0.0;
-        for &s in &slices {
+        for &s in slices {
             let req = self.transit(Endpoint::Core(core), Endpoint::Slice(s));
             let probe = self.transit(Endpoint::Slice(s), Endpoint::Core(owner));
             let ret = self.transit(Endpoint::Slice(s), Endpoint::Core(core));
@@ -106,7 +106,7 @@ impl<'a> Analytic<'a> {
         let node = self.topo.node_of_core(core);
         let slices = self.topo.slices_of_node(node);
         let mut total = 0.0;
-        for &s in &slices {
+        for &s in slices {
             let req = self.transit(Endpoint::Core(core), Endpoint::Slice(s));
             // Average over the node's home agents too.
             let has = self.topo.has_of_node(node);
@@ -129,10 +129,10 @@ impl<'a> Analytic<'a> {
         let slices = self.topo.slices_of_node(node);
         let peer_slices = self.topo.slices_of_node(holder);
         let mut total = 0.0;
-        for &s in &slices {
+        for &s in slices {
             // The peer slice is selected by the same hash; average over it.
             let mut inner = 0.0;
-            for &p in &peer_slices {
+            for &p in peer_slices {
                 let snp = self.transit(Endpoint::Slice(s), Endpoint::Slice(p))
                     + self.qpi_ser(Endpoint::Slice(s), Endpoint::Slice(p), c.msg_ctl);
                 let data = self.transit(Endpoint::Slice(p), Endpoint::Core(core))

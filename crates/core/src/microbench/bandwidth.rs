@@ -11,10 +11,9 @@
 
 use crate::system::System;
 use hswx_coherence::DataSource;
-use hswx_engine::{SimDuration, SimTime, TimedPool};
+use hswx_engine::{FxHashMap, SimDuration, SimTime, TimedPool};
 use hswx_mem::{CoreId, LineAddr};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// SIMD width of the streaming kernel (paper Fig. 8 compares both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -35,7 +34,7 @@ pub struct BandwidthMeasurement {
     /// Completion time of the last access.
     pub finished: SimTime,
     /// Access-class mix.
-    pub by_source: HashMap<DataSource, u64>,
+    pub by_source: FxHashMap<DataSource, u64>,
 }
 
 struct CoreStream<'a> {
@@ -165,7 +164,7 @@ fn run_streams(
             done: t0,
         })
         .collect();
-    let mut by_source: HashMap<DataSource, u64> = HashMap::new();
+    let mut by_source: FxHashMap<DataSource, u64> = FxHashMap::default();
     let mut total_lines = 0u64;
     let mut finished = t0;
 

@@ -9,9 +9,8 @@
 
 use crate::system::System;
 use hswx_coherence::DataSource;
-use hswx_engine::{DetRng, Histogram, SimTime};
+use hswx_engine::{DetRng, FxHashMap, Histogram, SimTime};
 use hswx_mem::{CoreId, LineAddr};
-use std::collections::HashMap;
 
 /// Result of one pointer-chase measurement.
 #[derive(Debug, Clone)]
@@ -21,7 +20,7 @@ pub struct LatencyMeasurement {
     /// Number of loads performed.
     pub samples: usize,
     /// Where the data came from, per access class.
-    pub by_source: HashMap<DataSource, u64>,
+    pub by_source: FxHashMap<DataSource, u64>,
     /// Per-access latency distribution (1 ns bins, 0-400 ns) — exposes
     /// multi-modal behaviour like the HitME-hit vs broadcast split in the
     /// paper's Figure 7 transition region.
@@ -61,7 +60,7 @@ pub fn pointer_chase(
 
     let mut t = t0;
     let mut total_ns = 0.0;
-    let mut by_source: HashMap<DataSource, u64> = HashMap::new();
+    let mut by_source: FxHashMap<DataSource, u64> = FxHashMap::default();
     let mut histogram = Histogram::latency_ns();
     for &line in &order {
         let out = sys.read(core, line, t);

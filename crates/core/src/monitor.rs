@@ -15,9 +15,9 @@
 
 use crate::system::System;
 use hswx_coherence::{CoreState, DirState, MesifState};
+use hswx_engine::FxHashMap;
 use hswx_mem::{CoreId, LineAddr, NodeId, SliceId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Monitor tuning knobs.
@@ -190,7 +190,7 @@ pub(crate) fn scan(sys: &System) -> Option<Violation> {
     }
 
     // Gather node-level states per line by walking every L3 slice.
-    let mut lines: HashMap<LineAddr, Vec<(NodeId, MesifState)>> = HashMap::new();
+    let mut lines: FxHashMap<LineAddr, Vec<(NodeId, MesifState)>> = FxHashMap::default();
     for (si, slice) in sys.l3.iter().enumerate() {
         let node = sys.topo.node_of_slice(SliceId(si as u16));
         for (line, meta) in slice.iter() {

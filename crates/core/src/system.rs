@@ -23,12 +23,11 @@ use hswx_coherence::{
     ha_read_dir_plan, CaAction, CoreState, DataSource, DirState, HitMeCache, HitMeEntry,
     InMemoryDirectory, L3Meta, MesifState, NodeSet, ProtocolConfig, ReqType, SnoopMode,
 };
-use hswx_engine::{SimDuration, SimTime, ThroughputResource, TimedPool};
+use hswx_engine::{FxHashMap, SimDuration, SimTime, ThroughputResource, TimedPool};
 use hswx_mem::{
     CoreId, HaId, LineAddr, MemoryController, NodeId, SetAssocCache, SliceId,
 };
 use hswx_topology::{Endpoint, SystemTopology};
-use std::collections::HashMap;
 
 /// Result of one simulated memory access.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,8 +48,8 @@ impl AccessOutcome {
 /// Event counters exposed by the system (the simulator's "uncore PMU").
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
-    /// Completed reads per data source.
-    pub reads_by_source: HashMap<DataSource, u64>,
+    /// Completed reads per data source. Fx-hashed: bumped on every read.
+    pub reads_by_source: FxHashMap<DataSource, u64>,
     /// Completed writes (RFO transactions).
     pub rfos: u64,
     /// Snoop messages sent (any kind).
@@ -190,6 +189,14 @@ pub struct System {
     wc_buf: Vec<TimedPool>,
     /// Armed transcript collector (see [`System::trace_next`]).
     trace_log: Option<Vec<(SimTime, ProtoStep)>>,
+    /// Recycled transcript storage: monitor-armed walks move this buffer
+    /// into `trace_log` and return it on success, so steady-state tracing
+    /// allocates nothing per walk.
+    trace_scratch: Vec<(SimTime, ProtoStep)>,
+    /// Whether `trace_log` is already in non-decreasing time order
+    /// (tracked at push, so collection sorts only when steps actually
+    /// arrived out of order).
+    log_sorted: bool,
     /// Trace armed by the monitor for the current walk only (discarded on
     /// success, attached to the error on failure).
     auto_trace: bool,
@@ -274,6 +281,8 @@ impl System {
                 .map(|_| TimedPool::new(cal.lfb_per_core as usize))
                 .collect(),
             trace_log: None,
+            trace_scratch: Vec::new(),
+            log_sorted: true,
             auto_trace: false,
             monitor: None,
             txn_count: 0,
@@ -335,18 +344,27 @@ impl System {
     /// [`take_trace`](Self::take_trace) is called are recorded.
     pub fn trace_next(&mut self) {
         self.trace_log = Some(Vec::new());
+        self.log_sorted = true;
     }
 
     /// Collect the recorded `(time, step)` protocol transcript, sorted by
     /// time, and disarm tracing.
     pub fn take_trace(&mut self) -> Vec<(SimTime, ProtoStep)> {
         let mut log = self.trace_log.take().unwrap_or_default();
-        log.sort_by_key(|&(t, _)| t);
+        if !self.log_sorted {
+            log.sort_by_key(|&(t, _)| t);
+            self.log_sorted = true;
+        }
         log
     }
 
     fn log(&mut self, at: SimTime, step: ProtoStep) {
         if let Some(log) = &mut self.trace_log {
+            if let Some(&(last, _)) = log.last() {
+                if at < last {
+                    self.log_sorted = false;
+                }
+            }
             log.push((at, step));
         }
     }
@@ -395,31 +413,41 @@ impl System {
     fn begin_walk(&mut self) {
         self.walk_steps = 0;
         if self.monitor.is_some() && self.trace_log.is_none() {
-            self.trace_log = Some(Vec::new());
+            // Reuse the scratch buffer: no allocation in steady state.
+            self.trace_log = Some(std::mem::take(&mut self.trace_scratch));
+            self.log_sorted = true;
             self.auto_trace = true;
         }
     }
 
     /// Collect the transcript for an error: consume a monitor-armed trace,
-    /// or snapshot a user-armed one without disarming it.
+    /// or snapshot a user-armed one without disarming it. Cold path — only
+    /// reached when a walk is about to return an error.
     fn error_transcript(&mut self) -> Vec<(SimTime, ProtoStep)> {
         if self.auto_trace {
             self.auto_trace = false;
             self.take_trace()
-        } else if let Some(log) = &self.trace_log {
-            let mut log = log.clone();
-            log.sort_by_key(|&(t, _)| t);
-            log
+        } else if let Some(log) = &mut self.trace_log {
+            // Sort the armed log in place once (stable, so a later
+            // take_trace observes the same order), then snapshot it.
+            if !self.log_sorted {
+                log.sort_by_key(|&(t, _)| t);
+                self.log_sorted = true;
+            }
+            log.clone()
         } else {
             Vec::new()
         }
     }
 
-    /// Drop a monitor-armed trace after a successful walk.
+    /// Recycle a monitor-armed trace after a successful walk.
     fn discard_auto_trace(&mut self) {
         if self.auto_trace {
             self.auto_trace = false;
-            self.trace_log = None;
+            if let Some(mut log) = self.trace_log.take() {
+                log.clear();
+                self.trace_scratch = log;
+            }
         }
     }
 
@@ -1326,10 +1354,11 @@ impl System {
         t: SimTime,
         slice: SliceId,
     ) -> SimTime {
-        let cores = self.topo.cores_of_node(node);
+        let n = self.topo.cores_of_node(node).len();
         let mut last = t;
-        for (i, &c) in cores.iter().enumerate() {
+        for i in 0..n {
             if cv & (1 << i) != 0 {
+                let c = self.topo.cores_of_node(node)[i];
                 self.stats.snoops_sent += 1;
                 let t_at = self.send(t, Endpoint::Slice(slice), Endpoint::Core(c), self.cal.msg_ctl);
                 let ci = c.0 as usize;

@@ -1,0 +1,144 @@
+//! Golden-outcome differential test for the hot-path optimizations.
+//!
+//! The flat cache layout, FxHash-backed directory/stats maps, and
+//! zero-allocation walk discipline must be *bit-identical* to the original
+//! nested-Vec / SipHash implementation. The digests below were captured
+//! from the pre-optimization build (commit c6004b9 lineage) by folding
+//! every [`AccessOutcome`] — completion picosecond and data source — of a
+//! deterministic mixed workload, plus the final event counters, through an
+//! FNV-1a accumulator. Any behavioural drift in cache indexing, victim
+//! choice, directory state, HitME policy, or timing changes the digest.
+//!
+//! Run with `GOLDEN_PRINT=1 cargo test -p hswx-haswell --test
+//! golden_outcomes -- --nocapture` to reprint digests after an
+//! *intentional* model change.
+
+use hswx_engine::SimTime;
+use hswx_haswell::monitor::MonitorConfig;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr, NodeId};
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fold(h: &mut u64, x: u64) {
+    for byte in x.to_le_bytes() {
+        *h ^= byte as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn source_code(src: hswx_coherence::DataSource) -> u64 {
+    use hswx_coherence::DataSource::*;
+    match src {
+        SelfL1 => 1,
+        SelfL2 => 2,
+        LocalL3 => 3,
+        LocalCore => 4,
+        PeerL3(n) => 100 + n.0 as u64,
+        PeerCore(n) => 200 + n.0 as u64,
+        Memory(n) => 300 + n.0 as u64,
+    }
+}
+
+/// Deterministic mixed workload: reads, writes, NT stores, and flushes
+/// from pseudo-random cores over a footprint spanning private caches, both
+/// nodes' L3s, and memory, with enough reuse to exercise every MESIF
+/// transition and the HitME/directory paths.
+fn outcome_digest(mode: CoherenceMode, ops: usize, monitor: bool) -> u64 {
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    if monitor {
+        sys.enable_monitor(MonitorConfig::default());
+    }
+    let n_cores = sys.topo.n_cores() as u64;
+    let base0 = sys.topo.numa_base(NodeId(0)).line().0;
+    let base1 = sys.topo.numa_base(NodeId(1)).line().0;
+    let mut h = FNV_OFFSET;
+    let mut t = SimTime::ZERO;
+    let mut s: u64 = 0x9E3779B97F4A7C15 ^ mode as u64;
+    for i in 0..ops {
+        // xorshift64
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let core = CoreId((s % n_cores) as u16);
+        let base = if s & (1 << 20) == 0 { base0 } else { base1 };
+        // 1024-line hot set with occasional cold lines for capacity traffic.
+        let off = if i % 13 == 0 { (s >> 24) % 65_536 } else { (s >> 24) % 1024 };
+        let line = LineAddr(base + off);
+        match (s >> 40) % 8 {
+            0..=3 => {
+                let out = sys.read(core, line, t);
+                fold(&mut h, out.done.0);
+                fold(&mut h, source_code(out.source));
+                t = out.done;
+            }
+            4..=5 => {
+                let out = sys.write(core, line, t);
+                fold(&mut h, out.done.0);
+                fold(&mut h, source_code(out.source));
+                t = out.done;
+            }
+            6 => {
+                let out = sys.write_nt(core, line, t);
+                fold(&mut h, out.done.0);
+                fold(&mut h, source_code(out.source));
+                t = out.done;
+            }
+            _ => {
+                t = sys.flush(core, line, t);
+                fold(&mut h, t.0);
+            }
+        }
+    }
+    // Event counters cover paths the outcomes alone may not distinguish.
+    fold(&mut h, sys.stats.total_reads());
+    fold(&mut h, sys.stats.rfos);
+    fold(&mut h, sys.stats.snoops_sent);
+    fold(&mut h, sys.stats.dir_broadcasts);
+    fold(&mut h, sys.stats.remote_dram_fwd);
+    fold(&mut h, sys.stats.remote_cache_fwd);
+    fold(&mut h, sys.stats.dram_writebacks);
+    h
+}
+
+const OPS: usize = 6_000;
+
+/// Digests captured from the pre-optimization (nested-Vec caches, SipHash
+/// maps, allocating walks) build. See module docs.
+const GOLDEN: &[(CoherenceMode, u64)] = &[
+    (CoherenceMode::SourceSnoop, 0xCC68B1FF2D627B72),
+    (CoherenceMode::HomeSnoop, 0x3B13A094B6DD0956),
+    (CoherenceMode::ClusterOnDie, 0x7EA9C650697274BA),
+];
+
+#[test]
+fn outcomes_match_pre_optimization_build() {
+    let got: Vec<(CoherenceMode, u64)> = GOLDEN
+        .iter()
+        .map(|&(mode, _)| (mode, outcome_digest(mode, OPS, false)))
+        .collect();
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        for &(mode, d) in &got {
+            eprintln!("(CoherenceMode::{mode:?}, {d:#018X}),");
+        }
+    }
+    for (&(mode, want), &(_, d)) in GOLDEN.iter().zip(&got) {
+        assert_eq!(
+            d, want,
+            "AccessOutcome digest drifted for {mode:?}: the optimized hot \
+             path is no longer bit-identical to the reference behaviour"
+        );
+    }
+}
+
+/// The invariant monitor must stay bit-transparent through the
+/// zero-allocation trace-scratch rework.
+#[test]
+fn outcomes_identical_with_monitor_enabled() {
+    for &(mode, _) in GOLDEN {
+        let plain = outcome_digest(mode, 1_500, false);
+        let monitored = outcome_digest(mode, 1_500, true);
+        assert_eq!(plain, monitored, "monitor perturbed outcomes in {mode:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! A small deterministic multiply-xor hasher for hot-path maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 with per-process
+//! random keys — HashDoS-resistant, but ~10× more expensive per lookup
+//! than the access-walk hot path can afford, and non-deterministic
+//! iteration order between runs. The simulator's map keys (`LineAddr`,
+//! small enums) are trusted, well-mixed simulation state, so we use the
+//! Firefox/rustc "Fx" construction instead: fold each word into the
+//! state with a rotate, xor, and multiply by a single odd constant.
+//! Vendored here (no registry access) rather than pulled from the
+//! `fxhash`/`rustc-hash` crates; the constant and word-folding scheme
+//! follow the well-known public-domain algorithm.
+//!
+//! Determinism matters beyond speed: with a fixed hasher, map iteration
+//! order — and therefore any behaviour that ever leaks from it — is
+//! stable across runs and hosts, which the golden-output differential
+//! tests rely on.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier: `2^64 / golden_ratio`, forced odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-xor hasher; not HashDoS-resistant, for trusted keys only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // Unlike RandomState, every builder yields the same function.
+        assert_eq!(hash_of(&0xDEAD_BEEFu64), hash_of(&0xDEAD_BEEFu64));
+        assert_eq!(hash_of(&"cache line"), hash_of(&"cache line"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential line addresses (the dominant key pattern) must not
+        // collide or cluster into the same value.
+        let hashes: std::collections::HashSet<u64> =
+            (0u64..1024).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+
+    #[test]
+    fn partial_words_hash_differently() {
+        // Slice hashing includes the length prefix, so zero-padding the
+        // trailing partial word cannot collide equal-prefix slices.
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3, 0][..]));
+        assert_ne!(hash_of(&[9u8][..]), hash_of(&[9u8, 0, 0][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

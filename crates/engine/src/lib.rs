@@ -14,16 +14,20 @@
 //!   bounded [`TokenPool`] (line-fill buffers, home-agent trackers).
 //! * [`rng`] — a deterministic small RNG wrapper so every experiment is
 //!   reproducible from a seed.
+//! * [`fxhash`] — a deterministic multiply-xor hasher ([`FxHashMap`]) for
+//!   hot-path maps keyed by trusted simulation state.
 //!
 //! The engine knows nothing about caches or coherence; it is a generic DES
 //! toolkit kept separate so its invariants can be tested in isolation.
 
+pub mod fxhash;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use resource::{ThroughputResource, TimedPool, TokenPool};
 pub use rng::DetRng;

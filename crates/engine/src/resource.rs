@@ -15,6 +15,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// A serializing resource that moves bytes at a fixed rate.
 ///
@@ -31,8 +32,12 @@ pub struct ThroughputResource {
     rate_gb_s: f64,
     /// Sorted, disjoint busy intervals `(start_ps, end_ps)`. Adjacent and
     /// overlapping intervals are merged, so under saturation the list stays
-    /// tiny (everything coalesces into one blob).
-    intervals: Vec<(u64, u64)>,
+    /// tiny (everything coalesces into one blob). Latency-bound callers
+    /// leave gaps between reservations, so the list can instead grow to
+    /// [`Self::MAX_INTERVALS`]; a deque keeps dropping the oldest interval
+    /// O(1), and reservations locate their gap by binary search rather
+    /// than a front-to-back scan.
+    intervals: VecDeque<(u64, u64)>,
     /// Accumulated busy time, for utilization reporting.
     busy: SimDuration,
     /// Total bytes moved.
@@ -51,7 +56,7 @@ impl ThroughputResource {
         assert!(rate_gb_s > 0.0, "throughput rate must be positive");
         ThroughputResource {
             rate_gb_s,
-            intervals: Vec::new(),
+            intervals: VecDeque::new(),
             busy: SimDuration::ZERO,
             bytes: 0,
         }
@@ -70,11 +75,26 @@ impl ThroughputResource {
     pub fn transfer_with_wait(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimDuration) {
         let dur = SimDuration::for_bytes(bytes, self.rate_gb_s);
         let mut start = now.0;
-        let mut insert_at = self.intervals.len();
-        for (i, &(s, e)) in self.intervals.iter().enumerate() {
-            if e <= start {
-                continue;
+        // Intervals ending at or before `start` cannot constrain this
+        // transfer; binary-search past them (they are sorted and disjoint,
+        // so ends are sorted too). After the first overlap pushes `start`
+        // to an interval's end, every following interval ends later, so
+        // the skip condition can never recur mid-walk.
+        let mut i = {
+            let (mut lo, mut hi) = (0, self.intervals.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.intervals[mid].1 <= start {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
             }
+            lo
+        };
+        let mut insert_at = self.intervals.len();
+        while i < self.intervals.len() {
+            let (s, e) = self.intervals[i];
             if s >= start + dur.0 {
                 // Fits entirely before this interval.
                 insert_at = i;
@@ -82,14 +102,14 @@ impl ThroughputResource {
             }
             // Overlaps: push past this interval and keep looking.
             start = e;
-            insert_at = i + 1;
+            i += 1;
+            insert_at = i;
         }
         let end = start + dur.0;
         self.intervals.insert(insert_at, (start, end));
         self.coalesce(insert_at);
-        if self.intervals.len() > Self::MAX_INTERVALS {
-            let drop = self.intervals.len() - Self::MAX_INTERVALS;
-            self.intervals.drain(..drop);
+        while self.intervals.len() > Self::MAX_INTERVALS {
+            self.intervals.pop_front();
         }
         self.busy += dur;
         self.bytes += bytes;
@@ -114,7 +134,7 @@ impl ThroughputResource {
 
     /// End of the last reservation (the pipe is idle after this).
     pub fn next_free(&self) -> SimTime {
-        SimTime(self.intervals.last().map(|&(_, e)| e).unwrap_or(0))
+        SimTime(self.intervals.back().map(|&(_, e)| e).unwrap_or(0))
     }
 
     /// Total bytes moved through this resource.

@@ -4,6 +4,19 @@
 //! cache; the payload `S` carries whatever per-line metadata the level needs
 //! (MESIF state, core-valid bits, presence vectors). Lookups are structural
 //! only — hit/miss bookkeeping and coherence decisions belong to the caller.
+//!
+//! # Layout
+//!
+//! The array is stored *flat*: one contiguous `ways`-strided buffer per
+//! field (packed tags, LRU ticks, payloads) plus a per-set occupancy count,
+//! instead of a `Vec<Vec<Way>>` of heap-allocated sets. A set probe is one
+//! linear scan over at most `ways` adjacent `u64` tags — a single cache
+//! line or two of the *host* — where the nested layout cost a double
+//! pointer chase per probe. Set-relative slot order replicates the old
+//! `Vec` semantics exactly (push at the end, `swap_remove` on removal), so
+//! victim choice under every policy — including the slot-indexed Random
+//! policy — is bit-identical to the original implementation (proved by the
+//! differential proptests against the retained [`reference`] oracle).
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
@@ -27,20 +40,25 @@ pub enum Replacement {
     Random,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Way<S> {
-    tag: u64,
-    lru: u64,
-    state: S,
-}
-
 /// A set-associative cache indexed by [`LineAddr`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SetAssocCache<S> {
-    sets: Vec<Vec<Way<S>>>,
+    /// Packed tags, `ways`-strided; slots `[set*ways, set*ways+occ[set])`
+    /// are valid. This is the only array touched by a miss probe.
+    tags: Vec<u64>,
+    /// LRU ticks, parallel to `tags`.
+    lru: Vec<u64>,
+    /// Payloads, parallel to `tags` (`None` in unoccupied slots).
+    states: Vec<Option<S>>,
+    /// Occupied slots per set.
+    occ: Vec<u16>,
     /// Tree-PLRU direction bits per set (bit i = internal node i).
     plru: Vec<u32>,
+    n_sets: usize,
     ways: usize,
+    /// `n_sets - 1` when the set count is a power of two, else `u64::MAX`
+    /// as a "use modulo" sentinel (the HitME organization has 224 sets).
+    set_mask: u64,
     tick: u64,
     len: usize,
     policy: Replacement,
@@ -56,11 +74,24 @@ impl<S> SetAssocCache<S> {
 
     /// An empty cache with an explicit replacement policy.
     pub fn with_policy(geom: CacheGeometry, policy: Replacement) -> Self {
-        let sets = geom.sets() as usize;
+        let n_sets = geom.sets() as usize;
+        let ways = geom.ways as usize;
+        let slots = n_sets * ways;
+        let mut states = Vec::new();
+        states.resize_with(slots, || None);
         SetAssocCache {
-            sets: (0..sets).map(|_| Vec::with_capacity(geom.ways as usize)).collect(),
-            plru: vec![0; sets],
-            ways: geom.ways as usize,
+            tags: vec![0; slots],
+            lru: vec![0; slots],
+            states,
+            occ: vec![0; n_sets],
+            plru: vec![0; n_sets],
+            n_sets,
+            ways,
+            set_mask: if n_sets.is_power_of_two() {
+                n_sets as u64 - 1
+            } else {
+                u64::MAX
+            },
             tick: 0,
             len: 0,
             policy,
@@ -97,16 +128,11 @@ impl<S> SetAssocCache<S> {
         }
     }
 
-    /// The way tree-PLRU would evict from `set`.
+    /// The way tree-PLRU would evict from `set` (only called on full sets).
     fn plru_victim(&self, set: usize) -> usize {
         if !self.ways.is_power_of_two() {
             // NRU-ish fallback: oldest tick.
-            return self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.lru)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
+            return self.min_lru_slot(set);
         }
         let bits = self.plru[set];
         let mut node = 0usize;
@@ -125,6 +151,22 @@ impl<S> SetAssocCache<S> {
         lo
     }
 
+    /// Set-relative slot holding the smallest LRU tick of a full set.
+    /// Ticks are unique, so this matches the old per-set `min_by_key`.
+    fn min_lru_slot(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let occ = self.occ[set] as usize;
+        let mut best = 0usize;
+        let mut best_lru = u64::MAX;
+        for (i, &l) in self.lru[base..base + occ].iter().enumerate() {
+            if l < best_lru {
+                best_lru = l;
+                best = i;
+            }
+        }
+        best
+    }
+
     fn next_rand(&mut self) -> u64 {
         // xorshift64*
         let mut x = self.rng_state;
@@ -135,22 +177,34 @@ impl<S> SetAssocCache<S> {
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
-    /// Pick the victim index for a full `set` under the active policy.
+    /// Pick the victim slot for a full `set` under the active policy.
     fn victim_idx(&mut self, set: usize) -> usize {
         match self.policy {
-            Replacement::Lru => self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.lru)
-                .map(|(i, _)| i)
-                .expect("full set is non-empty"),
+            Replacement::Lru => self.min_lru_slot(set),
             Replacement::TreePlru => self.plru_victim(set),
             Replacement::Random => (self.next_rand() % self.ways as u64) as usize,
         }
     }
 
+    #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets.len() as u64) as usize
+        if self.set_mask != u64::MAX {
+            (line.0 & self.set_mask) as usize
+        } else {
+            (line.0 % self.n_sets as u64) as usize
+        }
+    }
+
+    /// Absolute slot of `line` within `set`, if resident: one linear scan
+    /// over the packed tag array.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let occ = self.occ[set] as usize;
+        self.tags[base..base + occ]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|i| base + i)
     }
 
     fn bump(&mut self) -> u64 {
@@ -170,39 +224,34 @@ impl<S> SetAssocCache<S> {
 
     /// Total line capacity.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.n_sets * self.ways
     }
 
     /// Whether `line` is resident.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let s = self.set_of(line);
-        self.sets[s].iter().any(|w| w.tag == line.0)
+        self.find(self.set_of(line), line.0).is_some()
     }
 
     /// Shared view of the payload for `line`, without touching LRU.
     pub fn peek(&self, line: LineAddr) -> Option<&S> {
-        let s = self.set_of(line);
-        self.sets[s].iter().find(|w| w.tag == line.0).map(|w| &w.state)
+        let idx = self.find(self.set_of(line), line.0)?;
+        self.states[idx].as_ref()
     }
 
     /// Mutable view of the payload for `line`, without touching LRU.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut S> {
-        let s = self.set_of(line);
-        self.sets[s]
-            .iter_mut()
-            .find(|w| w.tag == line.0)
-            .map(|w| &mut w.state)
+        let idx = self.find(self.set_of(line), line.0)?;
+        self.states[idx].as_mut()
     }
 
     /// Access `line`: returns its payload and promotes it to MRU.
     pub fn access(&mut self, line: LineAddr) -> Option<&mut S> {
         let tick = self.bump();
         let s = self.set_of(line);
-        let idx = self.sets[s].iter().position(|w| w.tag == line.0)?;
-        self.plru_touch(s, idx);
-        let way = &mut self.sets[s][idx];
-        way.lru = tick;
-        Some(&mut way.state)
+        let idx = self.find(s, line.0)?;
+        self.plru_touch(s, idx - s * self.ways);
+        self.lru[idx] = tick;
+        self.states[idx].as_mut()
     }
 
     /// Insert `line` with `state`, evicting the LRU way of a full set.
@@ -212,38 +261,56 @@ impl<S> SetAssocCache<S> {
     /// same address) — callers that care should `access` first.
     pub fn insert(&mut self, line: LineAddr, state: S) -> Option<(LineAddr, S)> {
         let tick = self.bump();
-        let ways = self.ways;
         let s = self.set_of(line);
-        if let Some(idx) = self.sets[s].iter().position(|w| w.tag == line.0) {
-            self.plru_touch(s, idx);
-            let w = &mut self.sets[s][idx];
-            w.lru = tick;
-            let old = std::mem::replace(&mut w.state, state);
+        let base = s * self.ways;
+        if let Some(idx) = self.find(s, line.0) {
+            self.plru_touch(s, idx - base);
+            self.lru[idx] = tick;
+            let old = self.states[idx].replace(state).expect("resident slot");
             return Some((line, old));
         }
-        if self.sets[s].len() < ways {
-            let idx = self.sets[s].len();
-            self.sets[s].push(Way { tag: line.0, lru: tick, state });
-            self.plru_touch(s, idx);
+        let occ = self.occ[s] as usize;
+        if occ < self.ways {
+            let idx = base + occ;
+            self.tags[idx] = line.0;
+            self.lru[idx] = tick;
+            self.states[idx] = Some(state);
+            self.occ[s] += 1;
+            self.plru_touch(s, occ);
             self.len += 1;
             return None;
         }
-        let victim_idx = self.victim_idx(s);
-        self.plru_touch(s, victim_idx);
-        let victim = std::mem::replace(
-            &mut self.sets[s][victim_idx],
-            Way { tag: line.0, lru: tick, state },
-        );
-        Some((LineAddr(victim.tag), victim.state))
+        let victim = self.victim_idx(s);
+        self.plru_touch(s, victim);
+        let idx = base + victim;
+        let vtag = self.tags[idx];
+        self.tags[idx] = line.0;
+        self.lru[idx] = tick;
+        let vstate = self.states[idx].replace(state).expect("full set slot");
+        Some((LineAddr(vtag), vstate))
+    }
+
+    /// Remove the absolute slot `idx` of set `s` with `Vec::swap_remove`
+    /// semantics (the set's last slot moves into the hole).
+    fn swap_remove_slot(&mut self, s: usize, idx: usize) -> S {
+        let base = s * self.ways;
+        let last = base + self.occ[s] as usize - 1;
+        let state = self.states[idx].take().expect("occupied slot");
+        if idx != last {
+            self.tags[idx] = self.tags[last];
+            self.lru[idx] = self.lru[last];
+            self.states[idx] = self.states[last].take();
+        }
+        self.occ[s] -= 1;
+        state
     }
 
     /// Remove `line`, returning its payload.
     pub fn remove(&mut self, line: LineAddr) -> Option<S> {
         let s = self.set_of(line);
-        let set = &mut self.sets[s];
-        let idx = set.iter().position(|w| w.tag == line.0)?;
+        let idx = self.find(s, line.0)?;
         self.len -= 1;
-        Some(set.swap_remove(idx).state)
+        Some(self.swap_remove_slot(s, idx))
     }
 
     /// The line that would be evicted if `line` were inserted now
@@ -251,47 +318,54 @@ impl<S> SetAssocCache<S> {
     /// For the Random policy this is a prediction for the *next* draw.
     pub fn victim_for(&self, line: LineAddr) -> Option<LineAddr> {
         let s = self.set_of(line);
-        let set = &self.sets[s];
-        if set.len() < self.ways || set.iter().any(|w| w.tag == line.0) {
+        if (self.occ[s] as usize) < self.ways || self.find(s, line.0).is_some() {
             return None;
         }
         let idx = match self.policy {
-            Replacement::Lru | Replacement::Random => set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.lru)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
+            Replacement::Lru | Replacement::Random => self.min_lru_slot(s),
             Replacement::TreePlru => self.plru_victim(s),
         };
-        Some(LineAddr(set[idx].tag))
+        Some(LineAddr(self.tags[s * self.ways + idx]))
     }
 
     /// Iterate all resident lines (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> {
-        self.sets
-            .iter()
-            .flat_map(|set| set.iter().map(|w| (LineAddr(w.tag), &w.state)))
+        (0..self.n_sets).flat_map(move |s| {
+            let base = s * self.ways;
+            (base..base + self.occ[s] as usize)
+                .map(move |idx| (LineAddr(self.tags[idx]), self.states[idx].as_ref().expect("occupied slot")))
+        })
     }
 
     /// Drain every resident line, leaving the cache empty.
     pub fn drain_all(&mut self) -> Vec<(LineAddr, S)> {
+        let mut out = Vec::with_capacity(self.len);
+        for s in 0..self.n_sets {
+            let base = s * self.ways;
+            for idx in base..base + self.occ[s] as usize {
+                out.push((
+                    LineAddr(self.tags[idx]),
+                    self.states[idx].take().expect("occupied slot"),
+                ));
+            }
+            self.occ[s] = 0;
+        }
         self.len = 0;
-        self.sets
-            .iter_mut()
-            .flat_map(|set| set.drain(..).map(|w| (LineAddr(w.tag), w.state)))
-            .collect()
+        out
     }
 
     /// Remove resident lines for which `pred` returns true, returning them.
     pub fn extract_if(&mut self, mut pred: impl FnMut(LineAddr, &S) -> bool) -> Vec<(LineAddr, S)> {
         let mut out = Vec::new();
-        for set in &mut self.sets {
+        for s in 0..self.n_sets {
+            let base = s * self.ways;
             let mut i = 0;
-            while i < set.len() {
-                if pred(LineAddr(set[i].tag), &set[i].state) {
-                    let w = set.swap_remove(i);
-                    out.push((LineAddr(w.tag), w.state));
+            while i < self.occ[s] as usize {
+                let idx = base + i;
+                let line = LineAddr(self.tags[idx]);
+                if pred(line, self.states[idx].as_ref().expect("occupied slot")) {
+                    let state = self.swap_remove_slot(s, idx);
+                    out.push((line, state));
                 } else {
                     i += 1;
                 }
@@ -299,6 +373,238 @@ impl<S> SetAssocCache<S> {
         }
         self.len -= out.len();
         out
+    }
+}
+
+/// The original nested-`Vec` implementation, kept verbatim as the
+/// reference oracle for the differential proptests below: every public
+/// operation of the flat array must return bit-identical results.
+#[cfg(test)]
+#[allow(missing_docs)]
+pub mod reference {
+    use super::{CacheGeometry, LineAddr, Replacement};
+
+    #[derive(Debug, Clone)]
+    struct Way<S> {
+        tag: u64,
+        lru: u64,
+        state: S,
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct RefSetAssocCache<S> {
+        sets: Vec<Vec<Way<S>>>,
+        plru: Vec<u32>,
+        ways: usize,
+        tick: u64,
+        len: usize,
+        policy: Replacement,
+        rng_state: u64,
+    }
+
+    impl<S> RefSetAssocCache<S> {
+        pub fn with_policy(geom: CacheGeometry, policy: Replacement) -> Self {
+            let sets = geom.sets() as usize;
+            RefSetAssocCache {
+                sets: (0..sets).map(|_| Vec::with_capacity(geom.ways as usize)).collect(),
+                plru: vec![0; sets],
+                ways: geom.ways as usize,
+                tick: 0,
+                len: 0,
+                policy,
+                rng_state: 0x9E3779B97F4A7C15,
+            }
+        }
+
+        fn plru_touch(&mut self, set: usize, way_idx: usize) {
+            if !self.ways.is_power_of_two() {
+                return;
+            }
+            let mut node = 0usize;
+            let mut lo = 0usize;
+            let mut hi = self.ways;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                let go_right = way_idx >= mid;
+                if go_right {
+                    self.plru[set] &= !(1 << node);
+                    lo = mid;
+                } else {
+                    self.plru[set] |= 1 << node;
+                    hi = mid;
+                }
+                node = 2 * node + 1 + usize::from(go_right);
+            }
+        }
+
+        fn plru_victim(&self, set: usize) -> usize {
+            if !self.ways.is_power_of_two() {
+                return self.sets[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+            }
+            let bits = self.plru[set];
+            let mut node = 0usize;
+            let mut lo = 0usize;
+            let mut hi = self.ways;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                let go_right = bits & (1 << node) != 0;
+                if go_right {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                node = 2 * node + 1 + usize::from(go_right);
+            }
+            lo
+        }
+
+        fn next_rand(&mut self) -> u64 {
+            let mut x = self.rng_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.rng_state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn victim_idx(&mut self, set: usize) -> usize {
+            match self.policy {
+                Replacement::Lru => self.sets[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .expect("full set is non-empty"),
+                Replacement::TreePlru => self.plru_victim(set),
+                Replacement::Random => (self.next_rand() % self.ways as u64) as usize,
+            }
+        }
+
+        fn set_of(&self, line: LineAddr) -> usize {
+            (line.0 % self.sets.len() as u64) as usize
+        }
+
+        fn bump(&mut self) -> u64 {
+            self.tick += 1;
+            self.tick
+        }
+
+        #[allow(clippy::len_without_is_empty)]
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        pub fn contains(&self, line: LineAddr) -> bool {
+            let s = self.set_of(line);
+            self.sets[s].iter().any(|w| w.tag == line.0)
+        }
+
+        pub fn peek(&self, line: LineAddr) -> Option<&S> {
+            let s = self.set_of(line);
+            self.sets[s].iter().find(|w| w.tag == line.0).map(|w| &w.state)
+        }
+
+        pub fn access(&mut self, line: LineAddr) -> Option<&mut S> {
+            let tick = self.bump();
+            let s = self.set_of(line);
+            let idx = self.sets[s].iter().position(|w| w.tag == line.0)?;
+            self.plru_touch(s, idx);
+            let way = &mut self.sets[s][idx];
+            way.lru = tick;
+            Some(&mut way.state)
+        }
+
+        pub fn insert(&mut self, line: LineAddr, state: S) -> Option<(LineAddr, S)> {
+            let tick = self.bump();
+            let ways = self.ways;
+            let s = self.set_of(line);
+            if let Some(idx) = self.sets[s].iter().position(|w| w.tag == line.0) {
+                self.plru_touch(s, idx);
+                let w = &mut self.sets[s][idx];
+                w.lru = tick;
+                let old = std::mem::replace(&mut w.state, state);
+                return Some((line, old));
+            }
+            if self.sets[s].len() < ways {
+                let idx = self.sets[s].len();
+                self.sets[s].push(Way { tag: line.0, lru: tick, state });
+                self.plru_touch(s, idx);
+                self.len += 1;
+                return None;
+            }
+            let victim_idx = self.victim_idx(s);
+            self.plru_touch(s, victim_idx);
+            let victim = std::mem::replace(
+                &mut self.sets[s][victim_idx],
+                Way { tag: line.0, lru: tick, state },
+            );
+            Some((LineAddr(victim.tag), victim.state))
+        }
+
+        pub fn remove(&mut self, line: LineAddr) -> Option<S> {
+            let s = self.set_of(line);
+            let set = &mut self.sets[s];
+            let idx = set.iter().position(|w| w.tag == line.0)?;
+            self.len -= 1;
+            Some(set.swap_remove(idx).state)
+        }
+
+        pub fn victim_for(&self, line: LineAddr) -> Option<LineAddr> {
+            let s = self.set_of(line);
+            let set = &self.sets[s];
+            if set.len() < self.ways || set.iter().any(|w| w.tag == line.0) {
+                return None;
+            }
+            let idx = match self.policy {
+                Replacement::Lru | Replacement::Random => set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+                Replacement::TreePlru => self.plru_victim(s),
+            };
+            Some(LineAddr(set[idx].tag))
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> {
+            self.sets
+                .iter()
+                .flat_map(|set| set.iter().map(|w| (LineAddr(w.tag), &w.state)))
+        }
+
+        pub fn drain_all(&mut self) -> Vec<(LineAddr, S)> {
+            self.len = 0;
+            self.sets
+                .iter_mut()
+                .flat_map(|set| set.drain(..).map(|w| (LineAddr(w.tag), w.state)))
+                .collect()
+        }
+
+        pub fn extract_if(
+            &mut self,
+            mut pred: impl FnMut(LineAddr, &S) -> bool,
+        ) -> Vec<(LineAddr, S)> {
+            let mut out = Vec::new();
+            for set in &mut self.sets {
+                let mut i = 0;
+                while i < set.len() {
+                    if pred(LineAddr(set[i].tag), &set[i].state) {
+                        let w = set.swap_remove(i);
+                        out.push((LineAddr(w.tag), w.state));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            self.len -= out.len();
+            out
+        }
     }
 }
 
@@ -452,10 +758,25 @@ mod tests {
         assert_eq!(all.len(), 6);
         assert!(c.is_empty());
     }
+
+    #[test]
+    fn non_power_of_two_ways_basics() {
+        // 4 sets x 3 ways: tree-PLRU falls back to oldest-tick.
+        let mut c: SetAssocCache<u32> =
+            SetAssocCache::with_policy(CacheGeometry::new(12 * 64, 3), Replacement::TreePlru);
+        for i in 0..12u64 {
+            c.insert(LineAddr(i), i as u32);
+        }
+        assert_eq!(c.len(), 12);
+        // Set 0 holds lines 0, 4, 8; inserting 12 evicts the oldest (0).
+        let (victim, _) = c.insert(LineAddr(12), 12).unwrap();
+        assert_eq!(victim, LineAddr(0));
+    }
 }
 
 #[cfg(test)]
 mod proptests {
+    use super::reference::RefSetAssocCache;
     use super::*;
     use proptest::prelude::*;
     use std::collections::HashMap;
@@ -498,6 +819,14 @@ mod proptests {
             self.touch(line);
             evicted
         }
+        fn remove(&mut self, line: u64) -> Option<u32> {
+            let v = self.map.remove(&line)?;
+            let set = line % self.sets;
+            if let Some(rec) = self.recency.get_mut(&set) {
+                rec.retain(|&l| l != line);
+            }
+            Some(v)
+        }
     }
 
     proptest! {
@@ -526,6 +855,63 @@ mod proptests {
             }
         }
 
+        /// LRU behaviour matches the model through remove / extract_if /
+        /// drain_all interleavings, on a non-power-of-two way count.
+        #[test]
+        fn matches_reference_model_with_removals(
+            ops in proptest::collection::vec((0u64..36, 0u8..6), 1..400)
+        ) {
+            // 4 sets x 3 ways (non-power-of-two associativity).
+            let mut c: SetAssocCache<u32> =
+                SetAssocCache::new(CacheGeometry::new(12 * 64, 3));
+            let mut m = RefModel::new(4, 3);
+            for (i, &(line, op)) in ops.iter().enumerate() {
+                let la = LineAddr(line);
+                match op {
+                    0..=1 => {
+                        let got = c.insert(la, i as u32).map(|(l, _)| l.0);
+                        let want = m.insert(line, i as u32);
+                        prop_assert_eq!(got, want, "insert of {}", line);
+                    }
+                    2 => {
+                        let got = c.access(la).is_some();
+                        let want = m.map.contains_key(&line);
+                        prop_assert_eq!(got, want, "access of {}", line);
+                        if want { m.touch(line); }
+                    }
+                    3 => {
+                        prop_assert_eq!(c.remove(la), m.remove(line), "remove of {}", line);
+                    }
+                    4 => {
+                        // Extract lines with odd payloads; same survivors.
+                        let mut got: Vec<u64> =
+                            c.extract_if(|_, &v| v % 2 == 1).into_iter().map(|(l, _)| l.0).collect();
+                        got.sort_unstable();
+                        let mut want: Vec<u64> = m
+                            .map
+                            .iter()
+                            .filter(|(_, &v)| v % 2 == 1)
+                            .map(|(&l, _)| l)
+                            .collect();
+                        want.sort_unstable();
+                        for &l in &want { m.remove(l); }
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        let mut got: Vec<u64> =
+                            c.drain_all().into_iter().map(|(l, _)| l.0).collect();
+                        got.sort_unstable();
+                        let mut want: Vec<u64> = m.map.keys().copied().collect();
+                        want.sort_unstable();
+                        for &l in &want { m.remove(l); }
+                        prop_assert_eq!(got, want);
+                        prop_assert!(c.is_empty());
+                    }
+                }
+                prop_assert_eq!(c.len(), m.map.len());
+            }
+        }
+
         /// Occupancy never exceeds capacity and residency is consistent.
         #[test]
         fn occupancy_bounded(lines in proptest::collection::vec(0u64..1000, 1..500)) {
@@ -539,6 +925,66 @@ mod proptests {
             prop_assert_eq!(resident.len(), c.len());
             for l in resident {
                 prop_assert!(c.contains(l));
+            }
+        }
+
+        /// Full-API differential against the retained nested-Vec reference
+        /// implementation: every operation's result — including victim
+        /// identity under each policy, swap-remove slot reordering, payload
+        /// returns, and iteration order — must be bit-identical, across
+        /// power-of-two and non-power-of-two way counts.
+        #[test]
+        fn bit_identical_to_nested_vec_reference(
+            policy_sel in 0u8..3,
+            ways_sel in 0u8..4,
+            ops in proptest::collection::vec((0u64..64, 0u8..8), 1..600)
+        ) {
+            let policy = [Replacement::Lru, Replacement::TreePlru, Replacement::Random]
+                [policy_sel as usize];
+            // 4 sets with 2 / 3 / 5 / 8 ways.
+            let ways = [2u32, 3, 5, 8][ways_sel as usize];
+            let geom = CacheGeometry::new(4 * ways as u64 * 64, ways);
+            let mut new: SetAssocCache<u32> = SetAssocCache::with_policy(geom, policy);
+            let mut old: RefSetAssocCache<u32> = RefSetAssocCache::with_policy(geom, policy);
+            for (i, &(line, op)) in ops.iter().enumerate() {
+                let la = LineAddr(line);
+                let v = i as u32;
+                match op {
+                    0..=2 => {
+                        prop_assert_eq!(new.insert(la, v), old.insert(la, v), "insert {}", line);
+                    }
+                    3 => {
+                        let a = new.access(la).map(|s| *s);
+                        let b = old.access(la).map(|s| *s);
+                        prop_assert_eq!(a, b, "access {}", line);
+                    }
+                    4 => {
+                        prop_assert_eq!(new.remove(la), old.remove(la), "remove {}", line);
+                    }
+                    5 => {
+                        prop_assert_eq!(new.victim_for(la), old.victim_for(la), "victim_for {}", line);
+                        prop_assert_eq!(new.peek(la), old.peek(la), "peek {}", line);
+                        prop_assert_eq!(new.contains(la), old.contains(la));
+                    }
+                    6 => {
+                        prop_assert_eq!(
+                            new.extract_if(|_, &s| s % 3 == 0),
+                            old.extract_if(|_, &s| s % 3 == 0)
+                        );
+                    }
+                    _ => {
+                        if i % 29 == 0 {
+                            prop_assert_eq!(new.drain_all(), old.drain_all());
+                        } else {
+                            let a: Vec<(LineAddr, u32)> =
+                                new.iter().map(|(l, &s)| (l, s)).collect();
+                            let b: Vec<(LineAddr, u32)> =
+                                old.iter().map(|(l, &s)| (l, s)).collect();
+                            prop_assert_eq!(a, b, "iteration order diverged");
+                        }
+                    }
+                }
+                prop_assert_eq!(new.len(), old.len());
             }
         }
     }

@@ -39,21 +39,114 @@ pub enum Endpoint {
 }
 
 /// The assembled multi-socket system topology.
+///
+/// Every mapping query sits on the simulated-access hot path (slice
+/// selection, HA interleave, CV-bit indices, send distances), so the
+/// constructor derives lookup tables once and the public methods answer
+/// from them without recomputation or allocation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystemTopology {
     dies: Vec<Die>,
     cod: bool,
     cores_per_die: u16,
+    /// Cores of each node, ascending.
+    cores_by_node: Vec<Vec<CoreId>>,
+    /// L3 slices of each node (slice i co-located with core i).
+    slices_by_node: Vec<Vec<SliceId>>,
+    /// Home agents of each node.
+    has_by_node: Vec<Vec<HaId>>,
+    /// Node of each global core.
+    node_of_core_tab: Vec<NodeId>,
+    /// Node-local index of each global core (CV bit position).
+    node_local_tab: Vec<u8>,
+    /// Same-die distances between stop indices (see [`Self::stop_index`]);
+    /// all dies are identical, so one `n_stops`×`n_stops` table serves
+    /// every socket.
+    stop_dist: Vec<Distance>,
+    /// Stops per die in the distance table.
+    n_stops: usize,
 }
 
 impl SystemTopology {
     /// `n_sockets` identical dies, optionally split by Cluster-on-Die.
     pub fn new(n_sockets: u8, variant: DieVariant, cod: bool) -> Self {
         assert!(n_sockets >= 1);
-        SystemTopology {
+        let mut topo = SystemTopology {
             dies: (0..n_sockets).map(|_| Die::new(variant)).collect(),
             cod,
             cores_per_die: variant.cores(),
+            cores_by_node: Vec::new(),
+            slices_by_node: Vec::new(),
+            has_by_node: Vec::new(),
+            node_of_core_tab: Vec::new(),
+            node_local_tab: Vec::new(),
+            stop_dist: Vec::new(),
+            n_stops: 0,
+        };
+        topo.build_caches();
+        topo
+    }
+
+    /// Derive the lookup tables from the structural definitions above.
+    fn build_caches(&mut self) {
+        let n_cores = self.n_cores() as usize;
+        self.node_of_core_tab = (0..n_cores)
+            .map(|c| self.node_of_core_uncached(CoreId(c as u16)))
+            .collect();
+        self.cores_by_node = (0..self.n_nodes())
+            .map(|n| {
+                (0..n_cores as u16)
+                    .map(CoreId)
+                    .filter(|&c| self.node_of_core_tab[c.0 as usize] == NodeId(n))
+                    .collect()
+            })
+            .collect();
+        self.slices_by_node = self
+            .cores_by_node
+            .iter()
+            .map(|cores| cores.iter().map(|&c| SliceId(c.0)).collect())
+            .collect();
+        self.has_by_node = (0..self.n_nodes())
+            .map(|n| self.has_of_node_uncached(NodeId(n)))
+            .collect();
+        self.node_local_tab = (0..n_cores)
+            .map(|c| {
+                let core = CoreId(c as u16);
+                let node = self.node_of_core_tab[c];
+                self.cores_by_node[node.0 as usize]
+                    .iter()
+                    .position(|&cc| cc == core)
+                    .expect("core in its node") as u8
+            })
+            .collect();
+        // Same-die distance table over every stop endpoint_location can
+        // produce: die-local core/slices, both IMCs, and the QPI stop.
+        self.n_stops = self.cores_per_die as usize + 3;
+        self.stop_dist = (0..self.n_stops * self.n_stops)
+            .map(|i| {
+                let a = Self::stop_of_index(i / self.n_stops, self.cores_per_die);
+                let b = Self::stop_of_index(i % self.n_stops, self.cores_per_die);
+                self.dies[0].distance(a, b)
+            })
+            .collect();
+    }
+
+    /// Distance-table index of a stop (cores, then IMC 0/1, then QPI).
+    fn stop_index(&self, stop: Stop) -> usize {
+        match stop {
+            Stop::CoreSlice(c) => c as usize,
+            Stop::Imc(i) => self.cores_per_die as usize + i as usize,
+            Stop::Qpi => self.cores_per_die as usize + 2,
+            other => panic!("no distance-table entry for {other:?}"),
+        }
+    }
+
+    fn stop_of_index(i: usize, cores_per_die: u16) -> Stop {
+        let cores = cores_per_die as usize;
+        match i {
+            _ if i < cores => Stop::CoreSlice(i as u16),
+            _ if i < cores + 2 => Stop::Imc((i - cores) as u8),
+            _ => Stop::Qpi,
         }
     }
 
@@ -104,6 +197,10 @@ impl SystemTopology {
 
     /// NUMA node of `core`.
     pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        self.node_of_core_tab[core.0 as usize]
+    }
+
+    fn node_of_core_uncached(&self, core: CoreId) -> NodeId {
         let socket = self.socket_of_core(core);
         if self.cod {
             let cluster = self.dies[socket.0 as usize].cluster_of_core(self.local_core(core));
@@ -124,28 +221,26 @@ impl SystemTopology {
 
     /// Node-local index of `core` within its node (for CV bits).
     pub fn node_local_core(&self, core: CoreId) -> u8 {
-        let cores = self.cores_of_node(self.node_of_core(core));
-        cores.iter().position(|&c| c == core).expect("core in its node") as u8
+        self.node_local_tab[core.0 as usize]
     }
 
-    /// All cores of `node`, ascending.
-    pub fn cores_of_node(&self, node: NodeId) -> Vec<CoreId> {
-        let socket = self.socket_of_node(node);
-        let base = socket.0 as u16 * self.cores_per_die;
-        (0..self.cores_per_die)
-            .map(|l| CoreId(base + l))
-            .filter(|&c| self.node_of_core(c) == node)
-            .collect()
+    /// All cores of `node`, ascending (borrowed — no per-call allocation).
+    pub fn cores_of_node(&self, node: NodeId) -> &[CoreId] {
+        &self.cores_by_node[node.0 as usize]
     }
 
     /// All L3 slices of `node` (slice i is co-located with core i).
-    pub fn slices_of_node(&self, node: NodeId) -> Vec<SliceId> {
-        self.cores_of_node(node).into_iter().map(|c| SliceId(c.0)).collect()
+    pub fn slices_of_node(&self, node: NodeId) -> &[SliceId] {
+        &self.slices_by_node[node.0 as usize]
     }
 
     /// Home agents of `node`: both of the socket's HAs without COD, the
     /// cluster's single HA with COD.
     pub fn has_of_node(&self, node: NodeId) -> Vec<HaId> {
+        self.has_by_node[node.0 as usize].clone()
+    }
+
+    fn has_of_node_uncached(&self, node: NodeId) -> Vec<HaId> {
         let socket = self.socket_of_node(node);
         if self.cod {
             let cluster = node.0 % 2;
@@ -187,7 +282,7 @@ impl SystemTopology {
     /// The home agent owning `line`.
     pub fn ha_for_line(&self, line: LineAddr) -> HaId {
         let home = self.home_node_of_line(line);
-        let has = self.has_of_node(home);
+        let has = &self.has_by_node[home.0 as usize];
         has[hash::pick(line.0, has.len())]
     }
 
@@ -216,15 +311,20 @@ impl SystemTopology {
     }
 
     /// Structural distance between two endpoints, crossing QPI if they sit
-    /// on different sockets.
+    /// on different sockets. All dies are identical, so both the same-die
+    /// and the per-die legs of a QPI crossing come from one precomputed
+    /// stop-distance table.
     pub fn distance(&self, a: Endpoint, b: Endpoint) -> Distance {
         let (sa, stop_a) = self.endpoint_location(a);
         let (sb, stop_b) = self.endpoint_location(b);
+        let ia = self.stop_index(stop_a);
+        let ib = self.stop_index(stop_b);
         if sa == sb {
-            return self.dies[sa.0 as usize].distance(stop_a, stop_b);
+            return self.stop_dist[ia * self.n_stops + ib];
         }
-        let to_qpi = self.dies[sa.0 as usize].distance(stop_a, Stop::Qpi);
-        let from_qpi = self.dies[sb.0 as usize].distance(Stop::Qpi, stop_b);
+        let qpi = self.cores_per_die as usize + 2;
+        let to_qpi = self.stop_dist[ia * self.n_stops + qpi];
+        let from_qpi = self.stop_dist[qpi * self.n_stops + ib];
         to_qpi.plus(from_qpi).plus(Distance { ring_hops: 0, queues: 0, qpi: 1 })
     }
 
@@ -333,7 +433,7 @@ mod tests {
             assert!(slices.contains(&s));
             counts[s.0 as usize] += 1;
         }
-        for s in &slices {
+        for s in slices {
             assert!(counts[s.0 as usize] > 1_500, "{counts:?}");
         }
     }
@@ -405,7 +505,7 @@ mod proptests {
         fn nodes_partition_cores(t in any_topo()) {
             let mut seen = vec![0u32; t.n_cores() as usize];
             for node in t.nodes() {
-                for c in t.cores_of_node(node) {
+                for &c in t.cores_of_node(node) {
                     prop_assert_eq!(t.node_of_core(c), node);
                     seen[c.0 as usize] += 1;
                 }

@@ -20,11 +20,10 @@
 //! the compute time between this operation's issue and the previous one
 //! from the same core.
 
-use hswx_engine::{SimDuration, SimTime, TimedPool};
+use hswx_engine::{FxHashMap, SimDuration, SimTime, TimedPool};
 use hswx_haswell::{CoherenceMode, System, SystemConfig};
 use hswx_mem::{Addr, CoreId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::str::FromStr;
 
@@ -158,7 +157,7 @@ pub struct ReplayResult {
     /// Operations executed.
     pub ops: usize,
     /// Mean memory latency observed per op class, ns.
-    pub mean_latency_ns: HashMap<&'static str, f64>,
+    pub mean_latency_ns: FxHashMap<&'static str, f64>,
 }
 
 /// Replay `trace` on a fresh system in `mode` with `window` outstanding
@@ -166,10 +165,10 @@ pub struct ReplayResult {
 pub fn replay(trace: &Trace, mode: CoherenceMode, window: u32) -> ReplayResult {
     let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
     let n_cores = sys.topo.n_cores();
-    let mut issue: HashMap<u16, SimTime> = HashMap::new();
-    let mut windows: HashMap<u16, TimedPool> = HashMap::new();
+    let mut issue: FxHashMap<u16, SimTime> = FxHashMap::default();
+    let mut windows: FxHashMap<u16, TimedPool> = FxHashMap::default();
     let mut done = SimTime::ZERO;
-    let mut sums: HashMap<&'static str, (f64, u64)> = HashMap::new();
+    let mut sums: FxHashMap<&'static str, (f64, u64)> = FxHashMap::default();
 
     for r in &trace.records {
         let core = CoreId(r.core % n_cores);
