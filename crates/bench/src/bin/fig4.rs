@@ -2,41 +2,14 @@
 //! default (source snoop) configuration — local hierarchy, another core in
 //! the same NUMA node, and the other socket, for Modified / Exclusive /
 //! Shared cache lines.
+//!
+//! The figure itself is built by [`hswx_bench::jobs::fig4`], shared with
+//! the supervised `hswx campaign` runtime.
 
-use hswx_bench::scenarios::latency_curve;
-use hswx_haswell::placement::PlacedState::{Exclusive, Modified, Shared};
-use hswx_haswell::report::{sweep_sizes, Figure, Series};
-use hswx_haswell::CoherenceMode::SourceSnoop;
-use hswx_mem::{CoreId, NodeId};
+use hswx_haswell::report::sweep_sizes;
 
 fn main() {
-    let sizes = sweep_sizes();
-    let c0 = CoreId(0);
-    let c1 = CoreId(1);
-    let c2 = CoreId(2);
-    let c12 = CoreId(12);
-    let c13 = CoreId(13);
-    let mut fig = Figure::new("fig4", "ns per load");
-    let mut add = |label: &str, pts: Vec<(f64, f64)>| {
-        let mut s = Series::new(label);
-        for (x, y) in pts {
-            s.push(x, y);
-        }
-        fig.add(s);
-    };
-
-    // Local hierarchy (placer = measurer).
-    add("local M", latency_curve(SourceSnoop, &[c0], Modified, NodeId(0), c0, &sizes));
-    add("local E", latency_curve(SourceSnoop, &[c0], Exclusive, NodeId(0), c0, &sizes));
-    // Within NUMA node (placer core 1, measurer core 0).
-    add("node M", latency_curve(SourceSnoop, &[c1], Modified, NodeId(0), c0, &sizes));
-    add("node E", latency_curve(SourceSnoop, &[c1], Exclusive, NodeId(0), c0, &sizes));
-    add("node S", latency_curve(SourceSnoop, &[c1, c2], Shared, NodeId(0), c0, &sizes));
-    // Other NUMA node, 1 QPI hop (placer socket 1, data homed there).
-    add("remote M", latency_curve(SourceSnoop, &[c12], Modified, NodeId(1), c0, &sizes));
-    add("remote E", latency_curve(SourceSnoop, &[c12], Exclusive, NodeId(1), c0, &sizes));
-    add("remote S", latency_curve(SourceSnoop, &[c12, c13], Shared, NodeId(1), c0, &sizes));
-
+    let fig = hswx_bench::jobs::fig4(&sweep_sizes());
     print!("{}", fig.to_text());
     hswx_bench::save_csv(&fig, "results");
 }

@@ -1,13 +1,10 @@
 //! Regenerate paper Table I: Sandy Bridge vs Haswell micro-architecture.
-
-use hswx_haswell::report::Table;
-use hswx_haswell::spec::table1_uarch_comparison;
+//!
+//! The table itself is built by [`hswx_bench::jobs::table1`], shared with
+//! the supervised `hswx campaign` runtime.
 
 fn main() {
-    let mut t = Table::new("table1", &["feature", "Sandy Bridge", "Haswell"]);
-    for row in table1_uarch_comparison() {
-        t.row(row.feature, vec![row.sandy_bridge.to_string(), row.haswell.to_string()]);
-    }
+    let t = hswx_bench::jobs::table1();
     print!("{}", t.to_text());
     hswx_bench::save_csv(&t, "results");
 }

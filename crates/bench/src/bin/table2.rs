@@ -1,57 +1,11 @@
 //! Regenerate paper Table II: the test-system configuration, cross-checked
 //! against the simulator's actual configuration.
-
-use hswx_haswell::report::Table;
-use hswx_haswell::spec::table2_test_system;
-use hswx_haswell::{CoherenceMode, SystemConfig};
+//!
+//! The table itself is built by [`hswx_bench::jobs::table2`], shared with
+//! the supervised `hswx campaign` runtime.
 
 fn main() {
-    let spec = table2_test_system();
-    let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
-    let mut t = Table::new("table2", &["property", "value", "simulator"]);
-    t.row("processor", vec![spec.processor.into(), "modelled".into()]);
-    t.row(
-        "cores",
-        vec![
-            format!("{} x {}", spec.sockets, spec.cores_per_socket),
-            format!("{}", cfg.n_cores()),
-        ],
-    );
-    t.row(
-        "core / AVX clock",
-        vec![
-            format!("{:.1} / {:.1} GHz", spec.core_ghz, spec.avx_ghz),
-            format!("{:.1} / {:.1} GHz", cfg.calib.core_ghz, cfg.calib.avx_ghz),
-        ],
-    );
-    t.row(
-        "L1D / L2 per core",
-        vec![
-            format!("{} KiB / {} KiB", spec.l1d_kib, spec.l2_kib),
-            format!("{} KiB / {} KiB", cfg.l1.size_bytes / 1024, cfg.l2.size_bytes / 1024),
-        ],
-    );
-    t.row(
-        "L3 per socket",
-        vec![
-            format!("{} MiB", spec.l3_mib),
-            format!("{} MiB", cfg.l3_slice.size_bytes * 12 / (1 << 20)),
-        ],
-    );
-    t.row(
-        "memory",
-        vec![
-            format!("{}x DDR4-{} ({:.1} GB/s/socket)", spec.channels, spec.mem_mt_s, spec.mem_gb_s),
-            format!("{}x {:.2} GB/s channels", spec.channels, cfg.dram.bus_gb_s),
-        ],
-    );
-    t.row(
-        "QPI",
-        vec![
-            format!("2 links @ {:.1} GT/s ({:.1} GB/s each/dir)", spec.qpi_gt_s, spec.qpi_gb_s),
-            format!("{:.1} GB/s aggregated per direction", cfg.calib.qpi_gb_s),
-        ],
-    );
+    let t = hswx_bench::jobs::table2();
     print!("{}", t.to_text());
     hswx_bench::save_csv(&t, "results");
 }

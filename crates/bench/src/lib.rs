@@ -6,12 +6,16 @@
 //! measurements.
 
 pub mod anchors;
+pub mod jobs;
 pub mod parallel;
 pub mod perf;
 pub mod scenarios;
+pub mod supervisor;
 
 pub use anchors::{bandwidth_anchors, latency_anchors, Anchor};
+pub use jobs::{JobCtx, JobOutput, JobSpec};
 pub use parallel::parallel_map;
+pub use supervisor::{select_jobs, CampaignSummary, Supervisor, SupervisorConfig};
 
 use hswx_haswell::report::{Figure, Table};
 use std::io;

@@ -33,7 +33,7 @@ impl std::fmt::Display for FailedJob {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -63,10 +63,15 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
+    // Carry the caller's ambient cancellation token into the workers, so
+    // a supervisor watchdog installed around this sweep reaches the
+    // simulators the jobs construct on pool threads.
+    let ambient = hswx_engine::CancelToken::ambient();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let _cancel_scope = ambient.clone().map(hswx_engine::CancelToken::set_ambient);
                 // Claim jobs with a bare fetch-add; buffer outcomes
                 // locally and take the shared locks exactly once.
                 let mut local: Vec<(usize, R)> = Vec::new();

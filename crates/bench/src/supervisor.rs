@@ -1,0 +1,702 @@
+//! Supervised campaign runtime: dependency-aware job queue with watchdog
+//! deadlines, bounded retry, crash-safe journaling, and time-budget
+//! degradation.
+//!
+//! The [`Supervisor`] runs [`JobSpec`]s in dependency waves. Within a
+//! wave, jobs fan out over [`crate::parallel::parallel_try_map`], so one
+//! panicking job never aborts its siblings. Around each job attempt the
+//! supervisor installs an ambient [`CancelToken`] carrying the per-job
+//! wall-clock deadline; the simulator walk loop polls that token, so a
+//! wedged sweep degrades into a typed `Cancelled` walk error (which the
+//! scenario surfaces as a panic) instead of hanging the campaign. Failed
+//! attempts retry up to a bound, perturbing the job seed with the golden
+//! ratio so a retried job never replays the exact same random choices:
+//! `seed ^ attempt * 0x9E37_79B9_7F4A_7C15`.
+//!
+//! Completed jobs are committed to a crash-safe journal: every artifact
+//! file is written via tmp+`rename`, the journal records a per-job
+//! digest over the artifact bytes, and the journal file itself is
+//! rewritten atomically after every job (optionally fsynced). A campaign
+//! killed at any instant therefore leaves only (a) fully written
+//! artifacts it had journaled and (b) invisible temp files; `--resume`
+//! replays the journal, re-verifies each digest against the bytes on
+//! disk, and skips exactly the jobs that fully committed.
+//!
+//! When a time budget is set and exhausted, remaining jobs still run but
+//! in *degraded* mode: they shed sweep repetitions and their artifacts
+//! and journal entries are marked degraded, preferring a partial result
+//! over no result.
+
+use crate::jobs::{JobCtx, JobOutput, JobSpec};
+use crate::parallel::{panic_message, parallel_try_map};
+use hswx_engine::{atomic_write, fnv1a64, fnv1a64_extend, CancelToken};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Golden-ratio constant used to perturb the job seed per retry attempt.
+pub const RETRY_SEED_PERTURB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// First line of every journal, bumped on format changes.
+const JOURNAL_MAGIC: &str = "hswx-campaign v1";
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Directory artifacts are written into (created if missing).
+    pub out_dir: PathBuf,
+    /// Journal path (conventionally `<out_dir>/campaign.journal`).
+    pub journal: PathBuf,
+    /// Replay the journal and skip jobs whose digests still verify.
+    pub resume: bool,
+    /// fsync the journal (and its directory) on every commit.
+    pub fsync: bool,
+    /// Campaign seed; per-attempt seeds derive from it.
+    pub seed: u64,
+    /// Attempts per job before it counts as failed (>= 1).
+    pub max_attempts: u32,
+    /// Per-job wall-clock watchdog deadline.
+    pub job_deadline: Option<Duration>,
+    /// Campaign-level time budget: once exceeded, remaining jobs run
+    /// degraded instead of being dropped.
+    pub time_budget: Option<Duration>,
+    /// Force degraded mode from the start (deterministic shedding, used
+    /// by smoke runs and tests).
+    pub force_degraded: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            out_dir: PathBuf::from("results"),
+            journal: PathBuf::from("results/campaign.journal"),
+            resume: false,
+            fsync: false,
+            seed: 0x1CC_2015,
+            max_attempts: 2,
+            job_deadline: None,
+            time_budget: None,
+            force_degraded: false,
+        }
+    }
+}
+
+/// Journal record for one committed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// FNV-1a 64 digest over the job's artifact names and bytes.
+    pub digest: u64,
+    /// Attempts the job needed (1 = first try).
+    pub attempts: u32,
+    /// Whether the job ran in degraded (shed) mode.
+    pub degraded: bool,
+    /// Artifact file names, in write order.
+    pub files: Vec<String>,
+}
+
+/// Per-job outcome in the final summary.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job id.
+    pub id: String,
+    /// Journal record the job committed (or resumed).
+    pub entry: JournalEntry,
+    /// True when the job was skipped because the journal already had a
+    /// verified entry for it.
+    pub resumed: bool,
+}
+
+/// Full campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSummary {
+    /// Jobs that committed this run or verified on resume.
+    pub completed: Vec<JobReport>,
+    /// `(job id, error)` for jobs that exhausted their attempts.
+    pub failed: Vec<(String, String)>,
+    /// Jobs never started because a dependency failed.
+    pub blocked: Vec<String>,
+    /// Whether any job ran in degraded mode.
+    pub degraded: bool,
+}
+
+impl CampaignSummary {
+    /// Whether every job committed.
+    pub fn ok(&self) -> bool {
+        self.failed.is_empty() && self.blocked.is_empty()
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.completed {
+            writeln!(
+                f,
+                "{:<10} {} digest={:016x} attempts={}{}",
+                r.id,
+                if r.resumed { "skipped (journal)" } else { "done             " },
+                r.entry.digest,
+                r.entry.attempts,
+                if r.entry.degraded { " DEGRADED" } else { "" },
+            )?;
+        }
+        for (id, err) in &self.failed {
+            writeln!(f, "{id:<10} FAILED: {err}")?;
+        }
+        for id in &self.blocked {
+            writeln!(f, "{id:<10} BLOCKED (dependency failed)")?;
+        }
+        let status = if !self.ok() {
+            "completed with failures"
+        } else if self.degraded {
+            "completed (degraded)"
+        } else {
+            "completed"
+        };
+        writeln!(
+            f,
+            "campaign {status}: {} done, {} failed, {} blocked",
+            self.completed.len(),
+            self.failed.len(),
+            self.blocked.len()
+        )
+    }
+}
+
+/// Dependency-aware supervised job runner (see module docs).
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+}
+
+impl Supervisor {
+    /// Build a supervisor with the given policy.
+    pub fn new(cfg: SupervisorConfig) -> Self {
+        Supervisor { cfg }
+    }
+
+    /// Run `jobs` to completion (or bounded failure) and return the
+    /// summary. Errors only on environmental problems (unwritable output
+    /// directory, corrupt journal header); job failures are reported in
+    /// the summary instead.
+    pub fn run(&self, jobs: &[JobSpec]) -> Result<CampaignSummary, String> {
+        let cfg = &self.cfg;
+        std::fs::create_dir_all(&cfg.out_dir)
+            .map_err(|e| format!("{}: {e}", cfg.out_dir.display()))?;
+        validate_deps(jobs)?;
+
+        let mut resumed: BTreeMap<String, JournalEntry> = BTreeMap::new();
+        if cfg.resume {
+            for (id, entry) in self.load_journal()? {
+                if self.verify_entry(&entry) {
+                    resumed.insert(id, entry);
+                }
+                // A missing or mismatched artifact silently falls through
+                // to a rerun: the journal promises at-least-once, the
+                // digest check upgrades it to exactly-the-same-bytes.
+            }
+        }
+
+        let start = Instant::now();
+        let state = Mutex::new(resumed.clone());
+        let mut summary = CampaignSummary::default();
+        for (id, entry) in &resumed {
+            summary.completed.push(JobReport { id: id.clone(), entry: entry.clone(), resumed: true });
+        }
+        let mut pending: Vec<&JobSpec> =
+            jobs.iter().filter(|j| !resumed.contains_key(j.id)).collect();
+
+        while !pending.is_empty() {
+            let done_ids: Vec<String> =
+                state.lock().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect();
+            let ready: Vec<&JobSpec> = pending
+                .iter()
+                .copied()
+                .filter(|j| j.deps.iter().all(|d| done_ids.iter().any(|x| x == d)))
+                .collect();
+            if ready.is_empty() {
+                break; // everything left is blocked behind a failure
+            }
+            pending.retain(|j| !ready.iter().any(|r| r.id == j.id));
+
+            let (results, panics) = parallel_try_map(ready.clone(), |job| {
+                let degraded = cfg.force_degraded
+                    || cfg.time_budget.is_some_and(|b| start.elapsed() > b);
+                let (output, attempts) = self.attempt(job, degraded)?;
+                let entry = self.commit(job, &output, attempts, degraded, &state)?;
+                Ok::<(JournalEntry, bool), String>((entry, degraded))
+            });
+            for (i, res) in results.into_iter().enumerate() {
+                let id = ready[i].id.to_string();
+                match res {
+                    Some(Ok((entry, degraded))) => {
+                        summary.degraded |= degraded;
+                        summary.completed.push(JobReport { id, entry, resumed: false });
+                    }
+                    Some(Err(e)) => summary.failed.push((id, e)),
+                    // A panic escaping `attempt`'s own catch_unwind means
+                    // the commit path itself blew up.
+                    None => summary.failed.push((
+                        id.clone(),
+                        panics
+                            .iter()
+                            .find(|p| ready[p.index].id == id)
+                            .map(|p| p.panic.clone())
+                            .unwrap_or_else(|| "job panicked".into()),
+                    )),
+                }
+            }
+        }
+        summary.blocked = pending.iter().map(|j| j.id.to_string()).collect();
+        self.write_manifest(&state.lock().unwrap_or_else(|e| e.into_inner()))?;
+        Ok(summary)
+    }
+
+    /// Run one job with bounded retries and a per-attempt watchdog.
+    fn attempt(&self, job: &JobSpec, degraded: bool) -> Result<(JobOutput, u32), String> {
+        // Test knob: widen the window between job start and commit so
+        // kill-and-resume tests can reliably interrupt a live campaign.
+        if let Some(ms) =
+            std::env::var("HSWX_CAMPAIGN_DELAY_MS").ok().and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let mut last_err = String::from("job never ran");
+        for attempt in 0..self.cfg.max_attempts.max(1) {
+            let seed = self.cfg.seed ^ (attempt as u64).wrapping_mul(RETRY_SEED_PERTURB);
+            let ctx = JobCtx { seed, degraded };
+            // The ambient token reaches every `System` the job constructs,
+            // including inside nested parallel sweeps; a deadline overrun
+            // turns the next walk into a typed Cancelled error.
+            let _watchdog = self.cfg.job_deadline.map(|d| {
+                CancelToken::set_ambient(CancelToken::with_deadline(d))
+            });
+            match catch_unwind(AssertUnwindSafe(|| (job.run)(&ctx))) {
+                Ok(out) => return Ok((out, attempt + 1)),
+                Err(payload) => last_err = panic_message(payload),
+            }
+        }
+        Err(format!(
+            "failed after {} attempt{}: {last_err}",
+            self.cfg.max_attempts.max(1),
+            if self.cfg.max_attempts > 1 { "s" } else { "" }
+        ))
+    }
+
+    /// Atomically persist a finished job's artifacts and journal entry.
+    fn commit(
+        &self,
+        job: &JobSpec,
+        output: &JobOutput,
+        attempts: u32,
+        degraded: bool,
+        state: &Mutex<BTreeMap<String, JournalEntry>>,
+    ) -> Result<JournalEntry, String> {
+        for (name, body) in &output.files {
+            let path = self.cfg.out_dir.join(name);
+            atomic_write(&path, body.as_bytes(), self.cfg.fsync)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        let entry = JournalEntry {
+            digest: digest_output(output),
+            attempts,
+            degraded,
+            files: output.files.iter().map(|(n, _)| n.clone()).collect(),
+        };
+        let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+        st.insert(job.id.to_string(), entry.clone());
+        self.persist_journal(&st)?;
+        Ok(entry)
+    }
+
+    fn persist_journal(&self, entries: &BTreeMap<String, JournalEntry>) -> Result<(), String> {
+        let mut text = format!("{JOURNAL_MAGIC} seed={}\n", self.cfg.seed);
+        for (id, e) in entries {
+            text.push_str(&format!(
+                "done {id} digest={:016x} attempts={} degraded={} files={}\n",
+                e.digest,
+                e.attempts,
+                e.degraded as u8,
+                e.files.join(",")
+            ));
+        }
+        atomic_write(&self.cfg.journal, text.as_bytes(), self.cfg.fsync)
+            .map_err(|e| format!("{}: {e}", self.cfg.journal.display()))
+    }
+
+    /// Parse the journal. A missing file is an empty journal; a journal
+    /// from a different seed is an error (its digests describe different
+    /// runs). Malformed body lines are skipped — the worst outcome of a
+    /// lost line is rerunning one deterministic job.
+    fn load_journal(&self) -> Result<Vec<(String, JournalEntry)>, String> {
+        let text = match std::fs::read_to_string(&self.cfg.journal) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("{}: {e}", self.cfg.journal.display())),
+        };
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        let Some(seed_str) = header.strip_prefix(JOURNAL_MAGIC).map(str::trim) else {
+            return Err(format!(
+                "{}: not a campaign journal (header {header:?})",
+                self.cfg.journal.display()
+            ));
+        };
+        let seed: u64 = seed_str.strip_prefix("seed=").and_then(|s| s.parse().ok()).ok_or_else(
+            || format!("{}: malformed journal header", self.cfg.journal.display()),
+        )?;
+        if seed != self.cfg.seed {
+            return Err(format!(
+                "journal was written by seed {seed}, campaign runs seed {} — \
+                 pass --seed {seed} or start a fresh journal",
+                self.cfg.seed
+            ));
+        }
+        let mut out = Vec::new();
+        for line in lines {
+            if let Some(entry) = parse_done_line(line) {
+                out.push(entry);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-verify a journal entry against the bytes on disk.
+    fn verify_entry(&self, entry: &JournalEntry) -> bool {
+        let mut output = JobOutput::default();
+        for name in &entry.files {
+            match std::fs::read_to_string(self.cfg.out_dir.join(name)) {
+                Ok(body) => output.files.push((name.clone(), body)),
+                Err(_) => return false,
+            }
+        }
+        digest_output(&output) == entry.digest
+    }
+
+    /// Write `manifest.txt`: one line per committed artifact set, so a
+    /// consumer can check campaign completeness without parsing the
+    /// journal.
+    fn write_manifest(&self, entries: &BTreeMap<String, JournalEntry>) -> Result<(), String> {
+        let mut text = String::new();
+        for (id, e) in entries {
+            text.push_str(&format!(
+                "{id} {:016x}{} {}\n",
+                e.digest,
+                if e.degraded { " degraded" } else { "" },
+                e.files.join(" ")
+            ));
+        }
+        let path = self.cfg.out_dir.join("manifest.txt");
+        atomic_write(&path, text.as_bytes(), self.cfg.fsync)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Order-sensitive FNV-1a digest over artifact names and bytes.
+fn digest_output(output: &JobOutput) -> u64 {
+    let mut h = fnv1a64(b"hswx-job-artifacts-v1");
+    for (name, body) in &output.files {
+        h = fnv1a64_extend(h, name.as_bytes());
+        h = fnv1a64_extend(h, &[0]);
+        h = fnv1a64_extend(h, body.as_bytes());
+        h = fnv1a64_extend(h, &[0]);
+    }
+    h
+}
+
+fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "done" {
+        return None;
+    }
+    let id = parts.next()?.to_string();
+    let mut digest = None;
+    let mut attempts = None;
+    let mut degraded = None;
+    let mut files = None;
+    for kv in parts {
+        let (k, v) = kv.split_once('=')?;
+        match k {
+            "digest" => digest = u64::from_str_radix(v, 16).ok(),
+            "attempts" => attempts = v.parse().ok(),
+            "degraded" => degraded = Some(v == "1"),
+            "files" => files = Some(v.split(',').map(str::to_string).collect()),
+            _ => {} // forward compatibility: ignore unknown keys
+        }
+    }
+    Some((
+        id,
+        JournalEntry {
+            digest: digest?,
+            attempts: attempts?,
+            degraded: degraded?,
+            files: files?,
+        },
+    ))
+}
+
+/// Reject duplicate ids and dangling dependency references up front.
+fn validate_deps(jobs: &[JobSpec]) -> Result<(), String> {
+    for (i, j) in jobs.iter().enumerate() {
+        if jobs[..i].iter().any(|k| k.id == j.id) {
+            return Err(format!("duplicate job id `{}`", j.id));
+        }
+        for d in j.deps {
+            if !jobs.iter().any(|k| k.id == *d) {
+                return Err(format!("job `{}` depends on unknown job `{d}`", j.id));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Select `ids` from `all`, pulling in transitive dependencies, keeping
+/// the registry's order. Unknown ids are an error.
+pub fn select_jobs(all: &[JobSpec], ids: &[&str]) -> Result<Vec<JobSpec>, String> {
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut stack: Vec<&str> = ids.to_vec();
+    while let Some(id) = stack.pop() {
+        let job = all
+            .iter()
+            .find(|j| j.id == id)
+            .ok_or_else(|| format!("unknown job `{id}` (available: {})", job_ids(all)))?;
+        if !wanted.contains(&job.id) {
+            wanted.push(job.id);
+            stack.extend(job.deps);
+        }
+    }
+    Ok(all.iter().filter(|j| wanted.contains(&j.id)).copied().collect())
+}
+
+fn job_ids(all: &[JobSpec]) -> String {
+    all.iter().map(|j| j.id).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hswx_engine::SimTime;
+    use hswx_haswell::{CoherenceMode, System, SystemConfig};
+    use hswx_mem::{CoreId, LineAddr};
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("hswx-supervisor-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg_for(dir: &Path) -> SupervisorConfig {
+        SupervisorConfig {
+            out_dir: dir.to_path_buf(),
+            journal: dir.join("campaign.journal"),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    fn ok_job(ctx: &JobCtx) -> JobOutput {
+        let body = format!("payload degraded={}\n", ctx.degraded);
+        JobOutput { files: vec![("ok.txt".into(), body)] }
+    }
+
+    fn dep_job(_ctx: &JobCtx) -> JobOutput {
+        JobOutput { files: vec![("dep.txt".into(), "dep\n".into())] }
+    }
+
+    fn always_panics(_ctx: &JobCtx) -> JobOutput {
+        panic!("deliberate job failure");
+    }
+
+    /// Fails on the un-perturbed seed, succeeds on any retry seed.
+    fn flaky_job(ctx: &JobCtx) -> JobOutput {
+        if ctx.seed == SupervisorConfig::default().seed {
+            panic!("flaky first attempt");
+        }
+        JobOutput { files: vec![("flaky.txt".into(), format!("seed={:x}\n", ctx.seed))] }
+    }
+
+    /// Walks forever; only the ambient watchdog can stop it.
+    fn wedged_job(_ctx: &JobCtx) -> JobOutput {
+        let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+        let mut t = SimTime::ZERO;
+        let mut i = 0u64;
+        loop {
+            match sys.try_read(CoreId(0), LineAddr(i % 4096), t) {
+                Ok(out) => {
+                    t = out.done;
+                    i += 1;
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn runs_jobs_in_dependency_order_and_journals() {
+        let dir = tmp_dir("basic");
+        let sup = Supervisor::new(cfg_for(&dir));
+        let jobs = [
+            JobSpec { id: "child", deps: &["parent"], run: ok_job },
+            JobSpec { id: "parent", deps: &[], run: dep_job },
+        ];
+        let summary = sup.run(&jobs).unwrap();
+        assert!(summary.ok(), "{summary}");
+        assert_eq!(summary.completed.len(), 2);
+        let journal = std::fs::read_to_string(dir.join("campaign.journal")).unwrap();
+        assert!(journal.starts_with(JOURNAL_MAGIC), "{journal}");
+        assert!(journal.contains("done parent") && journal.contains("done child"));
+        assert!(dir.join("manifest.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_verified_jobs_and_reruns_tampered_ones() {
+        let dir = tmp_dir("resume");
+        let jobs = [
+            JobSpec { id: "a", deps: &[], run: dep_job },
+            JobSpec { id: "b", deps: &[], run: ok_job },
+        ];
+        let sup = Supervisor::new(cfg_for(&dir));
+        assert!(sup.run(&jobs).unwrap().ok());
+
+        let mut cfg = cfg_for(&dir);
+        cfg.resume = true;
+        let summary = Supervisor::new(cfg.clone()).run(&jobs).unwrap();
+        assert!(summary.completed.iter().all(|r| r.resumed), "{summary}");
+
+        // Tamper with one artifact: its digest no longer verifies, so
+        // only that job reruns.
+        std::fs::write(dir.join("dep.txt"), "corrupted").unwrap();
+        let summary = Supervisor::new(cfg).run(&jobs).unwrap();
+        let a = summary.completed.iter().find(|r| r.id == "a").unwrap();
+        let b = summary.completed.iter().find(|r| r.id == "b").unwrap();
+        assert!(!a.resumed && b.resumed, "{summary}");
+        assert_eq!(std::fs::read_to_string(dir.join("dep.txt")).unwrap(), "dep\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_a_journal_from_another_seed() {
+        let dir = tmp_dir("seed");
+        let jobs = [JobSpec { id: "a", deps: &[], run: dep_job }];
+        assert!(Supervisor::new(cfg_for(&dir)).run(&jobs).unwrap().ok());
+        let mut cfg = cfg_for(&dir);
+        cfg.resume = true;
+        cfg.seed ^= 1;
+        let err = Supervisor::new(cfg).run(&jobs).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_dependency_blocks_dependents() {
+        let dir = tmp_dir("blocked");
+        let mut cfg = cfg_for(&dir);
+        cfg.max_attempts = 1;
+        let jobs = [
+            JobSpec { id: "bad", deps: &[], run: always_panics },
+            JobSpec { id: "child", deps: &["bad"], run: ok_job },
+            JobSpec { id: "indep", deps: &[], run: dep_job },
+        ];
+        let summary = Supervisor::new(cfg).run(&jobs).unwrap();
+        assert_eq!(summary.failed.len(), 1);
+        assert!(summary.failed[0].1.contains("deliberate job failure"));
+        assert_eq!(summary.blocked, vec!["child".to_string()]);
+        assert_eq!(summary.completed.len(), 1, "sibling still ran: {summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_retry_perturbs_the_seed() {
+        let dir = tmp_dir("retry");
+        let jobs = [JobSpec { id: "flaky", deps: &[], run: flaky_job }];
+        let summary = Supervisor::new(cfg_for(&dir)).run(&jobs).unwrap();
+        assert!(summary.ok(), "{summary}");
+        assert_eq!(summary.completed[0].entry.attempts, 2);
+        let body = std::fs::read_to_string(dir.join("flaky.txt")).unwrap();
+        let expect = SupervisorConfig::default().seed ^ RETRY_SEED_PERTURB;
+        assert_eq!(body, format!("seed={expect:x}\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_deadline_cancels_a_wedged_job() {
+        let dir = tmp_dir("watchdog");
+        let mut cfg = cfg_for(&dir);
+        cfg.max_attempts = 1;
+        cfg.job_deadline = Some(Duration::from_millis(40));
+        let jobs = [JobSpec { id: "wedged", deps: &[], run: wedged_job }];
+        let summary = Supervisor::new(cfg).run(&jobs).unwrap();
+        assert_eq!(summary.failed.len(), 1, "{summary}");
+        assert!(
+            summary.failed[0].1.contains("cancelled"),
+            "expected a cancellation, got: {}",
+            summary.failed[0].1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_time_budget_degrades_instead_of_dying() {
+        let dir = tmp_dir("budget");
+        let mut cfg = cfg_for(&dir);
+        cfg.time_budget = Some(Duration::ZERO);
+        let jobs = [JobSpec { id: "shed", deps: &[], run: ok_job }];
+        let summary = Supervisor::new(cfg).run(&jobs).unwrap();
+        assert!(summary.ok() && summary.degraded, "{summary}");
+        assert!(summary.completed[0].entry.degraded);
+        let body = std::fs::read_to_string(dir.join("ok.txt")).unwrap();
+        assert_eq!(body, "payload degraded=true\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_lines_round_trip() {
+        let entry = JournalEntry {
+            digest: 0xdead_beef_0102_0304,
+            attempts: 3,
+            degraded: true,
+            files: vec!["x.txt".into(), "x.csv".into()],
+        };
+        let line = format!(
+            "done myjob digest={:016x} attempts={} degraded=1 files=x.txt,x.csv",
+            entry.digest, entry.attempts
+        );
+        let (id, parsed) = parse_done_line(&line).unwrap();
+        assert_eq!(id, "myjob");
+        assert_eq!(parsed, entry);
+        assert!(parse_done_line("garbage line").is_none());
+        assert!(parse_done_line("done only_id").is_none());
+    }
+
+    #[test]
+    fn select_jobs_pulls_transitive_deps() {
+        let all = crate::jobs::registry();
+        let picked = select_jobs(&all, &["fig4"]).unwrap();
+        let ids: Vec<&str> = picked.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec!["table2", "fig4"]);
+        assert!(select_jobs(&all, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn attempts_counter_is_not_shared_between_jobs() {
+        // Two jobs race in the same wave; each gets its own attempt loop.
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        fn counting(_ctx: &JobCtx) -> JobOutput {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            JobOutput { files: vec![("c.txt".into(), "c\n".into())] }
+        }
+        let dir = tmp_dir("counter");
+        let jobs = [
+            JobSpec { id: "c1", deps: &[], run: counting },
+            JobSpec { id: "c2", deps: &[], run: counting },
+        ];
+        let summary = Supervisor::new(cfg_for(&dir)).run(&jobs).unwrap();
+        assert!(summary.ok());
+        assert_eq!(CALLS.load(Ordering::Relaxed), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

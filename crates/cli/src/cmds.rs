@@ -23,8 +23,17 @@ USAGE:
   hswx explain   [latency flags]   (prints the protocol steps of one access)
   hswx apps      [--accesses N]
   hswx faultcheck [--plan FILE] [--seed N] [--trials N] [--classes a,b,..] [--quick]
+                 [--json FILE]
                  (fault-injection campaign: asserts the invariant monitor
-                  detects every injected corruption in all three modes)
+                  detects every injected corruption — and that recoverable
+                  transients heal transparently — in all three modes;
+                  --json additionally writes the matrix as JSON)
+  hswx campaign  [--out DIR] [--journal FILE] [--resume] [--fsync] [--seed N]
+                 [--jobs a,b,..] [--attempts N] [--deadline-ms N]
+                 [--time-budget-ms N] [--degraded]
+                 (supervised figure/table regeneration: dependency-aware
+                  job queue with watchdog deadlines, bounded retry, and a
+                  crash-safe journal; --resume skips journaled jobs)
   hswx perfbench [--quick] [--baseline FILE] [--write-baseline] [--out FILE]
                  [--tolerance PCT]
                  (host-throughput walk kernels vs the committed
@@ -35,6 +44,7 @@ EXAMPLES:
   hswx bandwidth --level mem --size 67108864 --width avx
   hswx replay mytrace.txt --mode cod --window 8
   hswx faultcheck --quick
+  hswx campaign --out results --resume
   hswx perfbench --quick";
 
 fn mode_of(flags: &Flags) -> Result<CoherenceMode, String> {
@@ -239,6 +249,12 @@ fn describe(step: &hswx_haswell::ProtoStep) -> String {
         }
         DirectoryRead { state } => format!("in-memory directory read: {state:?}"),
         MemoryReply => "home memory supplies the data".into(),
+        LinkRetry { retries } => format!(
+            "QPI CRC error: link layer replays the flit ({retries} retransmission{})",
+            if *retries == 1 { "" } else { "s" }
+        ),
+        DirectoryRetry => "transient directory read glitch: ECC bits re-read".into(),
+        HitMeRetry => "transient HitME SRAM glitch: directory cache re-read".into(),
     }
 }
 
@@ -289,10 +305,66 @@ pub fn faultcheck(argv: &[String]) -> Result<(), String> {
     }
     let report = run_campaign(&plan);
     print!("{report}");
+    if let Some(path) = flags.map_get("json") {
+        hswx_engine::atomic_write(std::path::Path::new(path), report.to_json().as_bytes(), false)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
     if report.all_detected() {
         Ok(())
     } else {
-        Err("fault-injection campaign found detection gaps (matrix above)".into())
+        Err("fault-injection campaign found detection or recovery gaps (matrix above)".into())
+    }
+}
+
+/// `hswx campaign` — run the registered figure/table jobs under the
+/// supervised campaign runtime (dependency queue, watchdog deadlines,
+/// bounded retry, crash-safe journal). See `hswx_bench::supervisor`.
+pub fn campaign(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["resume", "fsync", "degraded"])?;
+    let out_dir = flags.get("out", "results").to_string();
+    let mut cfg = hswx_bench::SupervisorConfig {
+        out_dir: out_dir.clone().into(),
+        journal: flags
+            .map_get("journal")
+            .map(Into::into)
+            .unwrap_or_else(|| std::path::Path::new(&out_dir).join("campaign.journal")),
+        resume: flags.has("resume"),
+        fsync: flags.has("fsync"),
+        force_degraded: flags.has("degraded"),
+        ..hswx_bench::SupervisorConfig::default()
+    };
+    cfg.seed = flags.get_parse("seed", cfg.seed)?;
+    cfg.max_attempts = flags.get_parse("attempts", cfg.max_attempts)?;
+    if cfg.max_attempts == 0 {
+        return Err("--attempts must be at least 1".into());
+    }
+    if let Some(ms) = flags.map_get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad value for --deadline-ms: {ms}"))?;
+        cfg.job_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = flags.map_get("time-budget-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad value for --time-budget-ms: {ms}"))?;
+        cfg.time_budget = Some(std::time::Duration::from_millis(ms));
+    }
+
+    let registry = hswx_bench::jobs::registry();
+    let jobs = match flags.map_get("jobs") {
+        Some(list) => {
+            let ids: Vec<&str> = list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            if ids.is_empty() {
+                return Err("--jobs needs at least one job id".into());
+            }
+            hswx_bench::select_jobs(&registry, &ids)?
+        }
+        None => registry,
+    };
+
+    let summary = hswx_bench::Supervisor::new(cfg).run(&jobs)?;
+    print!("{summary}");
+    if summary.ok() {
+        Ok(())
+    } else {
+        Err("campaign completed with failures (summary above)".into())
     }
 }
 

@@ -9,6 +9,8 @@
 //! hswx replay    FILE [--mode MODE] [--window N]
 //! hswx explain   [latency flags]
 //! hswx apps      [--accesses N]
+//! hswx faultcheck [--quick] [--json FILE]
+//! hswx campaign  [--resume] [--time-budget-ms N] [--jobs a,b,..]
 //! hswx perfbench [--quick] [--baseline FILE] [--write-baseline]
 //! ```
 //!
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
         "explain" => cmds::explain(rest),
         "apps" => cmds::apps(rest),
         "faultcheck" => cmds::faultcheck(rest),
+        "campaign" => cmds::campaign(rest),
         "perfbench" => cmds::perfbench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);

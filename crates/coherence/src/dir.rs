@@ -65,6 +65,12 @@ impl InMemoryDirectory {
     pub fn tracked_lines(&self) -> usize {
         self.entries.len()
     }
+
+    /// Every line in a non-default state (unordered — callers that need
+    /// a stable order, e.g. for digests, must sort).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, DirState)> + '_ {
+        self.entries.iter().map(|(&l, &s)| (l, s))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,131 @@
+//! QPI link-layer reliability: CRC detection and bounded retransmit.
+//!
+//! QPI's link layer protects every 80-bit flit with a CRC; a corrupted
+//! flit is *not* an error the protocol layer ever sees — the receiver
+//! drops it and the sender replays from its retry buffer, costing one
+//! extra link traversal per attempt (Molka et al., ICPP 2015, §II
+//! describe the layered QPI stack; the retry buffer bounds how many
+//! replays the link attempts before escalating to a machine-check).
+//!
+//! This module is the pure decision kernel for that behaviour, kept free
+//! of timing and injection state like the rest of `hswx-coherence`:
+//! given how many corrupted transmission attempts a message will suffer
+//! and the link's retry bound, [`LinkRetryPolicy::resolve`] says whether
+//! the message ultimately delivers and how many retransmissions it paid.
+//! The simulator charges each retransmission the calibrated QPI
+//! serialization cost and the fault campaign verifies the outcome is
+//! bit-identical to an error-free run, timing aside.
+
+/// Link-layer retransmit configuration for one QPI link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRetryPolicy {
+    /// Maximum retransmissions the link attempts for a single message
+    /// before declaring the link failed (retry-buffer depth).
+    pub max_retries: u32,
+}
+
+impl Default for LinkRetryPolicy {
+    fn default() -> Self {
+        // Deep enough that any transient burst recovers; a storm that
+        // exhausts it models a persistently bad lane.
+        LinkRetryPolicy { max_retries: 8 }
+    }
+}
+
+/// How a message fared at the link layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Delivered after `retries` retransmissions (0 = clean first try).
+    Delivered {
+        /// Retransmissions paid; each costs one extra serialization.
+        retries: u32,
+    },
+    /// The retry bound was exhausted; the link layer gives up and the
+    /// error escalates past the protocol layer.
+    Failed {
+        /// Retransmissions attempted before giving up (= `max_retries`).
+        retries: u32,
+    },
+}
+
+impl LinkOutcome {
+    /// Retransmissions actually paid (either way, they consumed link time).
+    pub fn retries(self) -> u32 {
+        match self {
+            LinkOutcome::Delivered { retries } | LinkOutcome::Failed { retries } => retries,
+        }
+    }
+
+    /// Whether the message got through.
+    pub fn delivered(self) -> bool {
+        matches!(self, LinkOutcome::Delivered { .. })
+    }
+}
+
+impl LinkRetryPolicy {
+    /// Resolve one message against `pending_errors` CRC corruptions
+    /// queued on the link. Each corruption consumes one transmission
+    /// attempt (the original send or a retransmission). Returns the
+    /// outcome plus how many of the pending corruptions were consumed,
+    /// so the caller can decrement its armed-fault budget.
+    pub fn resolve(self, pending_errors: u32) -> (LinkOutcome, u32) {
+        if pending_errors == 0 {
+            return (LinkOutcome::Delivered { retries: 0 }, 0);
+        }
+        if pending_errors > self.max_retries {
+            // The original attempt plus `max_retries` retransmissions all
+            // hit a corruption; the link gives up. One corruption is
+            // consumed per attempt made.
+            let consumed = self.max_retries + 1;
+            (LinkOutcome::Failed { retries: self.max_retries }, consumed)
+        } else {
+            // `pending_errors` attempts were corrupted; attempt
+            // `pending_errors + 1` succeeds.
+            (LinkOutcome::Delivered { retries: pending_errors }, pending_errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_link_is_free() {
+        let (out, used) = LinkRetryPolicy::default().resolve(0);
+        assert_eq!(out, LinkOutcome::Delivered { retries: 0 });
+        assert_eq!(used, 0);
+        assert!(out.delivered());
+    }
+
+    #[test]
+    fn transient_burst_recovers_with_matching_retry_count() {
+        let p = LinkRetryPolicy { max_retries: 8 };
+        for errs in 1..=8 {
+            let (out, used) = p.resolve(errs);
+            assert_eq!(out, LinkOutcome::Delivered { retries: errs });
+            assert_eq!(used, errs);
+            assert_eq!(out.retries(), errs);
+        }
+    }
+
+    #[test]
+    fn storm_exhausts_retry_buffer() {
+        let p = LinkRetryPolicy { max_retries: 3 };
+        let (out, used) = p.resolve(100);
+        assert_eq!(out, LinkOutcome::Failed { retries: 3 });
+        assert!(!out.delivered());
+        // Original attempt + 3 retries each consumed one corruption.
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn boundary_exactly_at_retry_limit_delivers() {
+        let p = LinkRetryPolicy { max_retries: 3 };
+        let (out, used) = p.resolve(3);
+        assert_eq!(out, LinkOutcome::Delivered { retries: 3 });
+        assert_eq!(used, 3);
+        let (out, _) = p.resolve(4);
+        assert!(!out.delivered());
+    }
+}

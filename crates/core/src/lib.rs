@@ -44,6 +44,7 @@ pub mod system;
 pub use calib::Calib;
 pub use config::{CoherenceMode, SystemConfig};
 pub use error::SimError;
+pub use inject::RecoveryStats;
 pub use monitor::{MonitorConfig, Violation};
 pub use placement::{PlacedState, Placement};
 pub use system::{AccessOutcome, ProtoStep, Stats, System};

@@ -91,16 +91,24 @@ impl Figure {
         out
     }
 
-    /// Write `results/<id>.csv` (long format: series,x,y).
-    pub fn write_csv(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+    /// CSV rendering (long format: series,x,y) — the exact bytes
+    /// [`write_csv`](Self::write_csv) persists, exposed separately so
+    /// campaign journals can digest an artifact without touching disk.
+    pub fn csv_body(&self) -> String {
         let mut body = String::from("series,x,y\n");
         for s in &self.series {
             for &(x, y) in &s.points {
                 let _ = writeln!(body, "{},{x},{y}", s.label);
             }
         }
-        std::fs::create_dir_all(dir.as_ref())?;
-        std::fs::write(dir.as_ref().join(format!("{}.csv", self.id)), body)
+        body
+    }
+
+    /// Write `results/<id>.csv` atomically (tmp + rename): a crash or
+    /// kill mid-write never leaves a truncated artifact behind.
+    pub fn write_csv(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let path = dir.as_ref().join(format!("{}.csv", self.id));
+        hswx_engine::atomic_write(&path, self.csv_body().as_bytes(), false)
     }
 }
 
@@ -165,8 +173,9 @@ impl Table {
         out
     }
 
-    /// Write `results/<id>.csv`.
-    pub fn write_csv(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+    /// CSV rendering — the exact bytes [`write_csv`](Self::write_csv)
+    /// persists (see [`Figure::csv_body`]).
+    pub fn csv_body(&self) -> String {
         let mut body = self.columns.join(",");
         body.push('\n');
         for (label, cells) in &self.rows {
@@ -177,8 +186,13 @@ impl Table {
             }
             body.push('\n');
         }
-        std::fs::create_dir_all(dir.as_ref())?;
-        std::fs::write(dir.as_ref().join(format!("{}.csv", self.id)), body)
+        body
+    }
+
+    /// Write `results/<id>.csv` atomically (tmp + rename).
+    pub fn write_csv(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let path = dir.as_ref().join(format!("{}.csv", self.id));
+        hswx_engine::atomic_write(&path, self.csv_body().as_bytes(), false)
     }
 }
 

@@ -16,14 +16,17 @@
 use crate::calib::Calib;
 use crate::config::SystemConfig;
 use crate::error::SimError;
-use crate::inject::FaultState;
+use crate::inject::{FaultState, RecoveryStats};
 use crate::monitor::{self, MonitorConfig, Violation};
 use hswx_coherence::{
     ca_local_action, dir_after_read, dir_after_rfo, fill_state_after_read, ha_read_arrival_plan,
     ha_read_dir_plan, CaAction, CoreState, DataSource, DirState, HitMeCache, HitMeEntry,
     InMemoryDirectory, L3Meta, MesifState, NodeSet, ProtocolConfig, ReqType, SnoopMode,
 };
-use hswx_engine::{FxHashMap, SimDuration, SimTime, ThroughputResource, TimedPool};
+use hswx_engine::{
+    fnv1a64, fnv1a64_extend, CancelToken, FxHashMap, SimDuration, SimTime, ThroughputResource,
+    TimedPool,
+};
 use hswx_mem::{
     CoreId, HaId, LineAddr, MemoryController, NodeId, SetAssocCache, SliceId,
 };
@@ -147,6 +150,17 @@ pub enum ProtoStep {
     },
     /// Data supplied from the home node's memory.
     MemoryReply,
+    /// The QPI link layer replayed a message from its retry buffer after
+    /// CRC errors; each retry paid one extra serialization delay.
+    LinkRetry {
+        /// Retransmissions the message needed.
+        retries: u32,
+    },
+    /// A transient in-memory-directory read glitch was healed by an ECC
+    /// re-read (one extra memory-controller traversal).
+    DirectoryRetry,
+    /// A transient HitME SRAM read glitch was healed by re-lookup.
+    HitMeRetry,
 }
 
 /// Outcome of probing a single peer node during a node-level transaction.
@@ -208,9 +222,19 @@ pub struct System {
     walk_steps: u32,
     /// Pending injected message faults (see [`crate::inject`]).
     pub(crate) faults: FaultState,
+    /// Cooperative cancellation handle, captured from the ambient
+    /// thread-local at construction (see `hswx_engine::cancel`). `None`
+    /// outside supervised runs — the common case — costs one `Option`
+    /// check per walk.
+    cancel: Option<CancelToken>,
+    /// Stride counter for the cancel token's deadline polling.
+    cancel_polls: u32,
 
     /// Event counters.
     pub stats: Stats,
+    /// Transparently recovered faults (kept outside [`Stats`] so clean
+    /// and recovered runs compare bit-identical; see [`RecoveryStats`]).
+    pub recovery: RecoveryStats,
 }
 
 impl System {
@@ -288,7 +312,10 @@ impl System {
             txn_count: 0,
             walk_steps: 0,
             faults: FaultState::default(),
+            cancel: CancelToken::ambient(),
+            cancel_polls: 0,
             stats: Stats::default(),
+            recovery: RecoveryStats::default(),
             cfg,
         }
     }
@@ -375,6 +402,13 @@ impl System {
 
     /// Deliver a `bytes`-sized message, reserving QPI when the path crosses
     /// sockets. Returns the arrival time.
+    ///
+    /// Socket crossings run the QPI link layer: armed CRC corruptions
+    /// (see [`crate::inject`]) are replayed from the retry buffer, each
+    /// retransmission paying one calibrated QPI hop. Recovery is purely
+    /// latency — protocol state and statistics never see it. A burst that
+    /// exhausts the retry bound marks the walk's link as failed; the walk
+    /// converts that to [`SimError::QpiLinkFailure`] when it closes.
     fn send(&mut self, t: SimTime, from: Endpoint, to: Endpoint, bytes: u64) -> SimTime {
         self.walk_steps = self.walk_steps.saturating_add(1);
         let d = self.topo.distance(from, to);
@@ -384,7 +418,23 @@ impl System {
             let sb = self.socket_of_endpoint(to);
             let idx = sa.0 as usize * self.cfg.sockets as usize + sb.0 as usize;
             let serialized = self.qpi[idx].transfer(t, bytes);
-            serialized + transit
+            let mut at = serialized + transit;
+            if self.faults.qpi_crc > 0 {
+                let (outcome, consumed) = self.faults.link_retry.resolve(self.faults.qpi_crc);
+                self.faults.qpi_crc -= consumed;
+                let retries = outcome.retries();
+                if retries > 0 {
+                    self.recovery.crc_messages += 1;
+                    self.recovery.crc_retries += retries as u64;
+                    at += self.ns(retries as f64 * self.cal.t_qpi);
+                    self.log(at, ProtoStep::LinkRetry { retries });
+                }
+                if !outcome.delivered() {
+                    self.recovery.link_failures += 1;
+                    self.faults.link_failed = Some(retries);
+                }
+            }
+            at
         } else {
             t + transit
         }
@@ -418,6 +468,54 @@ impl System {
             self.log_sorted = true;
             self.auto_trace = true;
         }
+    }
+
+    /// Gate a walk before it mutates anything: a cancelled supervisor
+    /// token or a poisoned target line aborts with a typed error while
+    /// every cache, directory, and statistic is still exactly as it was.
+    ///
+    /// The common case — no supervisor token, nothing poisoned — must
+    /// cost one predictable branch per walk: the kernels in
+    /// `hswx-bench::perf` issue tens of millions of walks per second, so
+    /// everything else lives in the outlined `#[cold]` slow path.
+    #[inline(always)]
+    fn walk_gate(&mut self, core: CoreId, line: LineAddr) -> Option<SimError> {
+        if self.cancel.is_none() && self.faults.poisoned.is_empty() {
+            return None;
+        }
+        self.walk_gate_slow(core, line)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn walk_gate_slow(&mut self, core: CoreId, line: LineAddr) -> Option<SimError> {
+        if self.cancel_requested() {
+            return Some(SimError::Cancelled { core, line, transcript: self.error_transcript() });
+        }
+        if self.faults.poisoned.contains(&line) {
+            self.recovery.poison_blocked += 1;
+            return Some(SimError::Poisoned { core, line, transcript: self.error_transcript() });
+        }
+        None
+    }
+
+    /// Poll the ambient cancellation token, if one was installed when this
+    /// system was built. Take/put keeps the borrow checker happy while the
+    /// token updates the strided poll counter.
+    fn cancel_requested(&mut self) -> bool {
+        let Some(tok) = self.cancel.take() else { return false };
+        let hit = tok.should_abort(&mut self.cancel_polls);
+        self.cancel = Some(tok);
+        hit
+    }
+
+    /// Build the machine-check error for a walk whose QPI link exhausted
+    /// its retry buffer. Outlined so `end_walk`'s inline body stays a
+    /// single `Option` test in the overwhelmingly common clean case.
+    #[cold]
+    #[inline(never)]
+    fn link_failure_error(&mut self, core: CoreId, line: LineAddr, retries: u32) -> SimError {
+        SimError::QpiLinkFailure { core, line, retries, transcript: self.error_transcript() }
     }
 
     /// Collect the transcript for an error: consume a monitor-armed trace,
@@ -460,6 +558,7 @@ impl System {
         issued: SimTime,
         res: Result<AccessOutcome, SimError>,
     ) -> Result<AccessOutcome, SimError> {
+        let link_failed = self.faults.link_failed.take();
         let out = match res {
             Ok(out) => out,
             Err(e) => {
@@ -467,6 +566,12 @@ impl System {
                 return Err(e);
             }
         };
+        // A message of this walk exhausted the link retry buffer: the
+        // walk's result is untrustworthy (real hardware machine-checks).
+        // The walk does not count as a completed transaction.
+        if let Some(retries) = link_failed {
+            return Err(self.link_failure_error(core, line, retries));
+        }
         self.txn_count += 1;
         let Some(mon) = self.monitor else {
             return Ok(out);
@@ -650,6 +755,9 @@ impl System {
         line: LineAddr,
         t: SimTime,
     ) -> Result<AccessOutcome, SimError> {
+        if let Some(err) = self.walk_gate(core, line) {
+            return Err(err);
+        }
         let ci = core.0 as usize;
         // L1 hit.
         if let Some(&st) = self.l1[ci].access(line).map(|s| &*s) {
@@ -1034,7 +1142,16 @@ impl System {
         };
         let pool = &mut self.trackers[ha.0 as usize][remote_req as usize];
         let t_admitted = pool.wait_for_slot(req_at_ha);
-        let t_arrival = t_admitted + self.ns(self.cal.t_ha);
+        let mut t_arrival = t_admitted + self.ns(self.cal.t_ha);
+
+        // Transient HitME SRAM read glitch (injected): the HA re-reads
+        // the directory cache, stalling its pipeline one access latency.
+        // Pure timing — the lookup below sees the same entry either way.
+        if self.proto.hitme && self.faults.take_hitme_glitch() {
+            self.recovery.hitme_retries += 1;
+            t_arrival += self.ns(self.cal.t_hitme);
+            self.log(t_arrival, ProtoStep::HitMeRetry);
+        }
 
         // HitME lookup (COD).
         let hitme_hit = if self.proto.hitme {
@@ -1050,7 +1167,7 @@ impl System {
 
         // Speculative memory read (directory bits piggyback on it).
         let (dev_done, _outcome) = self.mem[ha.0 as usize].access(t_arrival, line, false);
-        let dram_done = dev_done + self.ns(self.cal.t_mem_ctl);
+        let mut dram_done = dev_done + self.ns(self.cal.t_mem_ctl);
 
         // Home-snoop-mode probes issued by the HA.
         let mut broadcast_snooped = false;
@@ -1076,6 +1193,15 @@ impl System {
             dir_prev = self.dir[ha.0 as usize].get(line);
         }
         if plan.need_dir {
+            // Transient directory read glitch (injected): the ECC bits
+            // came back garbled once and the controller re-reads them,
+            // delaying the data+directory result one controller
+            // traversal. The state consumed below is the healed read.
+            if self.faults.take_dir_glitch() {
+                self.recovery.dir_retries += 1;
+                dram_done += self.ns(self.cal.t_mem_ctl);
+                self.log(dram_done, ProtoStep::DirectoryRetry);
+            }
             self.log(dram_done, ProtoStep::DirectoryRead { state: dir_prev });
             let dplan = ha_read_dir_plan(dir_prev, node, home, all);
             memory_reply_ok = dplan.memory_reply_ok;
@@ -1218,6 +1344,9 @@ impl System {
         line: LineAddr,
         t: SimTime,
     ) -> Result<AccessOutcome, SimError> {
+        if let Some(err) = self.walk_gate(core, line) {
+            return Err(err);
+        }
         let ci = core.0 as usize;
         if let Some(st) = self.l1[ci].access(line) {
             if st.can_write() {
@@ -1640,5 +1769,58 @@ impl System {
     /// Reset event counters (cache/directory state is preserved).
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
+    }
+
+    /// Stable FNV-1a digest of every piece of protocol state: per-core
+    /// L1/L2 line states, per-slice L3 metadata, in-memory directory
+    /// entries, and HitME entries.
+    ///
+    /// Entries are sorted before hashing so the digest is independent of
+    /// hash-map iteration order, making it comparable across runs and
+    /// platforms. The fault campaign uses it to prove transparently
+    /// recovered runs (CRC retransmits, directory/HitME glitches) leave
+    /// the machine bit-identical to a clean run, and the campaign journal
+    /// uses it to detect divergence on resume. Timing, statistics, and
+    /// recovery counters are deliberately excluded.
+    pub fn state_digest(&self) -> u64 {
+        fn mix(h: u64, section: u64, entries: &mut Vec<(u64, u64)>) -> u64 {
+            entries.sort_unstable();
+            let mut h = fnv1a64_extend(h, &section.to_le_bytes());
+            h = fnv1a64_extend(h, &(entries.len() as u64).to_le_bytes());
+            for &(line, v) in entries.iter() {
+                h = fnv1a64_extend(h, &line.to_le_bytes());
+                h = fnv1a64_extend(h, &v.to_le_bytes());
+            }
+            entries.clear();
+            h
+        }
+        let mut h = fnv1a64(b"hswx-protocol-state-v1");
+        let mut buf: Vec<(u64, u64)> = Vec::new();
+        for (level, caches) in [(1u64, &self.l1), (2, &self.l2)] {
+            for (ci, cache) in caches.iter().enumerate() {
+                buf.extend(cache.iter().map(|(l, &s)| (l.0, s as u64)));
+                h = mix(h, (level << 32) | ci as u64, &mut buf);
+            }
+        }
+        for (si, slice) in self.l3.iter().enumerate() {
+            buf.extend(
+                slice
+                    .iter()
+                    .map(|(l, m)| (l.0, ((m.state as u64) << 32) | m.cv as u64)),
+            );
+            h = mix(h, (3u64 << 32) | si as u64, &mut buf);
+        }
+        for (di, dir) in self.dir.iter().enumerate() {
+            buf.extend(dir.iter().map(|(l, s)| (l.0, s as u64)));
+            h = mix(h, (4u64 << 32) | di as u64, &mut buf);
+        }
+        for (hi, hm) in self.hitme.iter().enumerate() {
+            buf.extend(
+                hm.iter()
+                    .map(|(l, e)| (l.0, ((e.nodes.0 as u64) << 1) | e.clean as u64)),
+            );
+            h = mix(h, (5u64 << 32) | hi as u64, &mut buf);
+        }
+        h
     }
 }

@@ -1,0 +1,198 @@
+//! Cooperative cancellation with wall-clock deadlines.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! supervisor (which cancels, or sets a deadline at creation) and the
+//! simulation hot path (which polls). Polling the cancelled flag is a
+//! single relaxed atomic load; the wall-clock deadline is only consulted
+//! every [`DEADLINE_STRIDE`] polls so the hot path never pays a clock
+//! read per transaction walk.
+//!
+//! Tokens also propagate *ambiently*: a supervisor installs a token for
+//! the current worker thread with [`CancelToken::set_ambient`], and any
+//! simulator constructed on that thread picks it up via
+//! [`CancelToken::ambient`]. This lets a job-level watchdog reach walks
+//! deep inside scenario code without threading a token through every
+//! intermediate API.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many [`CancelToken::should_abort`] polls elapse between wall-clock
+/// deadline checks. Walks run in the hundreds of nanoseconds; reading the
+/// host clock on every one would dominate their cost.
+pub const DEADLINE_STRIDE: u32 = 256;
+
+struct Inner {
+    cancelled: AtomicBool,
+    /// Absolute wall-clock deadline; once passed, the token reports
+    /// cancelled (and latches the flag so later polls stay cheap).
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation handle (see module docs).
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.inner.cancelled.load(Ordering::Relaxed))
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](Self::cancel) is called.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }),
+        }
+    }
+
+    /// A token that auto-cancels once `budget` of wall-clock time elapses.
+    pub fn with_deadline(budget: std::time::Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token is cancelled, checking the deadline eagerly.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Hot-path poll: checks the cancelled flag on every call but the
+    /// wall-clock deadline only once every [`DEADLINE_STRIDE`] calls,
+    /// using the caller-owned `polls` counter for striding.
+    pub fn should_abort(&self, polls: &mut u32) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.inner.deadline.is_some() {
+            *polls = polls.wrapping_add(1);
+            if polls.is_multiple_of(DEADLINE_STRIDE) {
+                return self.is_cancelled();
+            }
+        }
+        false
+    }
+
+    /// Install `token` as the ambient token for the current thread,
+    /// returning a guard that restores the previous ambient token when
+    /// dropped.
+    pub fn set_ambient(token: CancelToken) -> AmbientGuard {
+        let prev = AMBIENT.with(|slot| slot.replace(Some(token)));
+        AmbientGuard { prev }
+    }
+
+    /// The ambient token installed for the current thread, if any.
+    pub fn ambient() -> Option<CancelToken> {
+        AMBIENT.with(|slot| slot.borrow().clone())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously ambient token on drop (RAII for
+/// [`CancelToken::set_ambient`]).
+pub struct AmbientGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        AMBIENT.with(|slot| *slot.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn manual_cancel_visible_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn should_abort_strides_deadline_checks() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        let mut polls = 0u32;
+        // The flag is still unset; only a strided poll reads the clock.
+        let mut aborted = false;
+        for _ in 0..DEADLINE_STRIDE + 1 {
+            if t.should_abort(&mut polls) {
+                aborted = true;
+                break;
+            }
+        }
+        assert!(aborted, "deadline never observed within one stride");
+        // Once latched, the first poll sees it.
+        let mut fresh = 0u32;
+        assert!(t.should_abort(&mut fresh));
+    }
+
+    #[test]
+    fn ambient_scoping_restores_previous() {
+        assert!(CancelToken::ambient().is_none());
+        let outer = CancelToken::new();
+        {
+            let _g1 = CancelToken::set_ambient(outer.clone());
+            assert!(CancelToken::ambient().is_some());
+            {
+                let inner = CancelToken::with_deadline(Duration::from_secs(3600));
+                let _g2 = CancelToken::set_ambient(inner);
+                let seen = CancelToken::ambient().unwrap();
+                assert!(!seen.is_cancelled());
+            }
+            // Back to the outer token: cancelling it is observable.
+            outer.cancel();
+            assert!(CancelToken::ambient().unwrap().is_cancelled());
+        }
+        assert!(CancelToken::ambient().is_none());
+    }
+}

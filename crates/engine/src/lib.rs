@@ -16,10 +16,18 @@
 //!   reproducible from a seed.
 //! * [`fxhash`] — a deterministic multiply-xor hasher ([`FxHashMap`]) for
 //!   hot-path maps keyed by trusted simulation state.
+//! * [`cancel`] — cooperative cancellation tokens with wall-clock
+//!   deadlines, propagated ambiently per thread so supervisors can reach
+//!   walks deep inside scenario code.
+//! * [`fsio`] — crash-consistent `atomic_write` (tmp + `rename`, optional
+//!   fsync) and the stable [`fnv1a64`] content digest used by campaign
+//!   journals and golden-outcome checks.
 //!
 //! The engine knows nothing about caches or coherence; it is a generic DES
 //! toolkit kept separate so its invariants can be tested in isolation.
 
+pub mod cancel;
+pub mod fsio;
 pub mod fxhash;
 pub mod queue;
 pub mod resource;
@@ -27,6 +35,8 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use cancel::CancelToken;
+pub use fsio::{atomic_write, fnv1a64, fnv1a64_extend};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use resource::{ThroughputResource, TimedPool, TokenPool};

@@ -79,6 +79,28 @@ impl<E> EventQueue<E> {
         Some((e.at, e.event))
     }
 
+    /// Remove and return the earliest event only if it fires at or before
+    /// `deadline`; later events stay queued. This is the deadline hook a
+    /// supervised run uses to drain a calendar up to a budget boundary
+    /// without dispatching anything beyond it.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? > deadline {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Cancel every pending event, returning how many were dropped.
+    /// Dropped events count as neither pushed-back nor popped, so
+    /// `total_pushed - total_popped` over-counts by exactly the returned
+    /// amount — callers reconciling statistics after a cancellation use
+    /// this value.
+    pub fn cancel_pending(&mut self) -> usize {
+        let n = self.heap.len();
+        self.heap.clear();
+        n
+    }
+
     /// Firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
@@ -153,6 +175,35 @@ mod tests {
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        q.push(SimTime(30), "c");
+        assert_eq!(q.pop_until(SimTime(5)), None);
+        assert_eq!(q.pop_until(SimTime(20)), Some((SimTime(10), "a")));
+        assert_eq!(q.pop_until(SimTime(20)), Some((SimTime(20), "b")));
+        assert_eq!(q.pop_until(SimTime(20)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_pending_drops_everything() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1), ());
+        q.push(SimTime(2), ());
+        q.pop();
+        assert_eq!(q.cancel_pending(), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        // The calendar remains usable after a cancellation.
+        q.push(SimTime(3), ());
+        assert_eq!(q.pop(), Some((SimTime(3), ())));
     }
 
     #[test]

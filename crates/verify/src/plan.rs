@@ -5,15 +5,20 @@
 //! the fault classes to exercise. Plans round-trip through a small
 //! line-oriented text format (`key = value`, `#` comments) so campaigns
 //! can be stored next to CI configs and attached to bug reports.
+//!
+//! Parsing collects *every* problem in a plan file into one
+//! [`PlanError`], each tagged with its line number — a hand-edited plan
+//! with three typos reports all three at once instead of one per run.
 
 use std::fmt;
 
-/// One class of injected protocol-state corruption.
+/// One class of injected protocol-state corruption or transient fault.
 ///
 /// Classes marked *conservative-overstatement* in the paper's terminology
 /// (a directory claiming more sharers than exist) are legal states by
 /// design and therefore not represented here: the campaign only injects
-/// corruptions the protocol is supposed to make impossible.
+/// corruptions the protocol is supposed to make impossible, plus
+/// transients the hardware is supposed to heal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultClass {
     /// Flip a Shared node-level copy to Forward, minting a second
@@ -45,11 +50,52 @@ pub enum FaultClass {
     /// Stall snoop messages long enough that the transaction walk blows
     /// its latency budget.
     DelaySnoop,
+    /// A short burst of QPI flit CRC corruptions the link layer must
+    /// replay transparently, changing latency only.
+    QpiCrc,
+    /// A CRC-error storm outlasting the link retry buffer; the affected
+    /// walk must fail with a typed link-failure error, nothing else.
+    QpiCrcStorm,
+    /// A transient in-memory-directory read glitch healed by an ECC
+    /// re-read (COD only).
+    DirGlitch,
+    /// A transient HitME SRAM read glitch healed by re-lookup (COD only).
+    HitMeGlitch,
+    /// A poisoned line whose consumption must abort exactly one walk with
+    /// a typed error while every other structure stays untouched.
+    PoisonLine,
+}
+
+/// What the simulator is expected to do with a fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The invariant monitor must convert the corruption into a typed
+    /// error — silent completion is a detection gap.
+    Detect,
+    /// The hardware model must heal the transient transparently: same
+    /// data sources, protocol state, and statistics as a clean run,
+    /// latency aside.
+    Recover,
+    /// The fault is unrecoverable by design; it must be contained to one
+    /// typed error without corrupting the rest of the simulation.
+    Contain,
+}
+
+impl FaultKind {
+    /// Stable identifier used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Detect => "detect",
+            FaultKind::Recover => "recover",
+            FaultKind::Contain => "contain",
+        }
+    }
 }
 
 impl FaultClass {
-    /// Every class, in reporting order.
-    pub const ALL: [FaultClass; 11] = [
+    /// Every class, in reporting order: detection classes first, then the
+    /// recoverable/contained transients.
+    pub const ALL: [FaultClass; 16] = [
         FaultClass::MintForwarder,
         FaultClass::BreakMExclusivity,
         FaultClass::DropL3Line,
@@ -61,6 +107,11 @@ impl FaultClass {
         FaultClass::CalibNan,
         FaultClass::DropSnoop,
         FaultClass::DelaySnoop,
+        FaultClass::QpiCrc,
+        FaultClass::QpiCrcStorm,
+        FaultClass::DirGlitch,
+        FaultClass::HitMeGlitch,
+        FaultClass::PoisonLine,
     ];
 
     /// Stable identifier used in plans and reports.
@@ -77,6 +128,11 @@ impl FaultClass {
             FaultClass::CalibNan => "calib-nan",
             FaultClass::DropSnoop => "drop-snoop",
             FaultClass::DelaySnoop => "delay-snoop",
+            FaultClass::QpiCrc => "qpi-crc",
+            FaultClass::QpiCrcStorm => "qpi-crc-storm",
+            FaultClass::DirGlitch => "dir-glitch",
+            FaultClass::HitMeGlitch => "hitme-glitch",
+            FaultClass::PoisonLine => "poison-line",
         }
     }
 
@@ -85,21 +141,70 @@ impl FaultClass {
         FaultClass::ALL.iter().copied().find(|c| c.name() == s)
     }
 
-    /// Whether the class corrupts in-memory-directory state and therefore
-    /// only applies to directory-enabled (COD) modes.
-    pub fn requires_directory(self) -> bool {
-        matches!(self, FaultClass::DirUnderstate)
+    /// The expected simulator response to this class.
+    pub fn kind(self) -> FaultKind {
+        match self {
+            FaultClass::QpiCrc | FaultClass::DirGlitch | FaultClass::HitMeGlitch => {
+                FaultKind::Recover
+            }
+            FaultClass::QpiCrcStorm | FaultClass::PoisonLine => FaultKind::Contain,
+            _ => FaultKind::Detect,
+        }
     }
 
-    /// Whether the class corrupts HitME state (COD with HitME enabled).
+    /// Whether the class touches in-memory-directory state and therefore
+    /// only applies to directory-enabled (COD) modes.
+    pub fn requires_directory(self) -> bool {
+        matches!(self, FaultClass::DirUnderstate | FaultClass::DirGlitch)
+    }
+
+    /// Whether the class touches HitME state (COD with HitME enabled).
     pub fn requires_hitme(self) -> bool {
-        matches!(self, FaultClass::HitMeDropNode | FaultClass::HitMeFalseClean)
+        matches!(
+            self,
+            FaultClass::HitMeDropNode | FaultClass::HitMeFalseClean | FaultClass::HitMeGlitch
+        )
     }
 }
 
 impl fmt::Display for FaultClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Every problem found in a plan file, each tagged with its 1-based line
+/// number. Parsing keeps going after the first bad line so a hand-edited
+/// plan reports all of its typos in one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// `(line, message)` pairs in file order.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl PlanError {
+    fn push(&mut self, line: usize, message: impl Into<String>) {
+        self.errors.push((line, message.into()));
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (line, msg)) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "line {line}: {msg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<PlanError> for String {
+    fn from(e: PlanError) -> String {
+        e.to_string()
     }
 }
 
@@ -142,28 +247,36 @@ impl FaultPlan {
     }
 
     /// Parse the plan text format. Unknown keys and class names are
-    /// errors; omitted keys keep their [`Default`] values.
-    pub fn from_text(text: &str) -> Result<FaultPlan, String> {
+    /// errors; omitted keys keep their [`Default`] values. All problems
+    /// are collected into one [`PlanError`] rather than stopping at the
+    /// first.
+    pub fn from_text(text: &str) -> Result<FaultPlan, PlanError> {
         let mut plan = FaultPlan::default();
+        let mut errors = PlanError { errors: Vec::new() };
         for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("line {}: expected `key = value`, got {raw:?}", lineno + 1));
+                errors.push(lineno, format!("expected `key = value`, got {raw:?}"));
+                continue;
             };
             let (key, value) = (key.trim(), value.trim());
             match key {
-                "seed" => {
-                    plan.seed = parse_u64(value)
-                        .ok_or_else(|| format!("line {}: bad seed {value:?}", lineno + 1))?;
-                }
+                "seed" => match parse_u64(value) {
+                    Some(v) => plan.seed = v,
+                    None => errors.push(lineno, format!("bad seed {value:?}")),
+                },
                 "trials" => {
-                    plan.trials = parse_u64(value)
+                    match parse_u64(value)
                         .and_then(|v| u32::try_from(v).ok())
                         .filter(|&v| v > 0)
-                        .ok_or_else(|| format!("line {}: bad trials {value:?}", lineno + 1))?;
+                    {
+                        Some(v) => plan.trials = v,
+                        None => errors.push(lineno, format!("bad trials {value:?}")),
+                    }
                 }
                 "classes" => {
                     let mut classes = Vec::new();
@@ -172,22 +285,31 @@ impl FaultPlan {
                         if name.is_empty() {
                             continue;
                         }
-                        let class = FaultClass::from_name(name).ok_or_else(|| {
-                            format!("line {}: unknown fault class {name:?}", lineno + 1)
-                        })?;
-                        if !classes.contains(&class) {
-                            classes.push(class);
+                        match FaultClass::from_name(name) {
+                            Some(class) => {
+                                if !classes.contains(&class) {
+                                    classes.push(class);
+                                }
+                            }
+                            None => {
+                                errors.push(lineno, format!("unknown fault class {name:?}"));
+                            }
                         }
                     }
                     if classes.is_empty() {
-                        return Err(format!("line {}: empty class list", lineno + 1));
+                        errors.push(lineno, "empty class list");
+                    } else {
+                        plan.classes = classes;
                     }
-                    plan.classes = classes;
                 }
-                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+                other => errors.push(lineno, format!("unknown key {other:?}")),
             }
         }
-        Ok(plan)
+        if errors.errors.is_empty() {
+            Ok(plan)
+        } else {
+            Err(errors)
+        }
     }
 }
 
@@ -226,9 +348,91 @@ mod tests {
     }
 
     #[test]
+    fn collects_every_error_with_line_numbers() {
+        let text = "seed = zzz\ntrials = 0\nclasses = qpi-crc, flip-bits\nbogus-key = 1\nno-equals-here\n";
+        let err = FaultPlan::from_text(text).unwrap_err();
+        let lines: Vec<usize> = err.errors.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4, 5], "all five problems reported: {err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 1: bad seed"), "{rendered}");
+        assert!(rendered.contains("line 3: unknown fault class \"flip-bits\""), "{rendered}");
+        assert!(rendered.contains("line 5: expected `key = value`"), "{rendered}");
+    }
+
+    #[test]
     fn every_class_name_round_trips() {
         for class in FaultClass::ALL {
             assert_eq!(FaultClass::from_name(class.name()), Some(class));
+        }
+    }
+
+    #[test]
+    fn kinds_partition_the_classes() {
+        let recover: Vec<_> = FaultClass::ALL
+            .iter()
+            .filter(|c| c.kind() == FaultKind::Recover)
+            .collect();
+        assert_eq!(recover.len(), 3);
+        let contain: Vec<_> = FaultClass::ALL
+            .iter()
+            .filter(|c| c.kind() == FaultKind::Contain)
+            .collect();
+        assert_eq!(contain.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_classes() -> impl Strategy<Value = Vec<FaultClass>> {
+        proptest::collection::vec(0usize..FaultClass::ALL.len(), 1..FaultClass::ALL.len())
+            .prop_map(|idxs| {
+                let mut v = Vec::new();
+                for i in idxs {
+                    let c = FaultClass::ALL[i];
+                    if !v.contains(&c) {
+                        v.push(c);
+                    }
+                }
+                v
+            })
+    }
+
+    /// Printable-ASCII-plus-newline soup, up to ~400 chars — enough to
+    /// hit comments, blank lines, junk keys, and malformed values.
+    fn arb_text() -> impl Strategy<Value = String> {
+        proptest::collection::vec(
+            prop_oneof![Just('\n'), (0x20u8..0x7f).prop_map(|b| b as char)],
+            0..400usize,
+        )
+        .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    proptest! {
+        /// Any plan serializes to text that parses back to itself.
+        #[test]
+        fn any_plan_round_trips(seed in any::<u64>(), trials in 1u32..10_000, classes in arb_classes()) {
+            let plan = FaultPlan { seed, trials, classes };
+            let parsed = FaultPlan::from_text(&plan.to_text()).unwrap();
+            prop_assert_eq!(parsed, plan);
+        }
+
+        /// Junk interleaved with valid lines never panics, and every
+        /// reported error carries a plausible line number.
+        #[test]
+        fn arbitrary_text_never_panics(text in arb_text()) {
+            match FaultPlan::from_text(&text) {
+                Ok(plan) => prop_assert!(!plan.classes.is_empty()),
+                Err(e) => {
+                    let n_lines = text.lines().count();
+                    prop_assert!(!e.errors.is_empty());
+                    for &(line, _) in &e.errors {
+                        prop_assert!(line >= 1 && line <= n_lines.max(1));
+                    }
+                }
+            }
         }
     }
 }
