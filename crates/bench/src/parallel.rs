@@ -63,15 +63,19 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    // Carry the caller's ambient cancellation token into the workers, so
-    // a supervisor watchdog installed around this sweep reaches the
-    // simulators the jobs construct on pool threads.
+    // Carry the caller's ambient cancellation token and metrics registry
+    // into the workers, so a supervisor watchdog installed around this
+    // sweep reaches the simulators the jobs construct on pool threads,
+    // and their counters drain into the caller's registry.
     let ambient = hswx_engine::CancelToken::ambient();
+    let metrics = hswx_engine::MetricsRegistry::ambient();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 let _cancel_scope = ambient.clone().map(hswx_engine::CancelToken::set_ambient);
+                let _metrics_scope =
+                    metrics.clone().map(hswx_engine::MetricsRegistry::set_ambient);
                 // Claim jobs with a bare fetch-add; buffer outcomes
                 // locally and take the shared locks exactly once.
                 let mut local: Vec<(usize, R)> = Vec::new();

@@ -82,15 +82,31 @@ pub struct LatencyScenario {
     pub size: Option<u64>,
 }
 
+/// A [`LatencyScenario`] carried through its placement phase: the system
+/// is built, the buffer homed, and the placement walks already executed,
+/// so the next access from [`LatencyScenario::measurer`] is exactly the
+/// scenario's measured access. Exists so the CLI can attach a tracer
+/// *after* placement and record only measurement walks.
+pub struct PreparedScenario {
+    /// The placed system, ready for measurement.
+    pub sys: System,
+    /// Lines of the placed buffer, in chase order.
+    pub lines: Vec<LineAddr>,
+    /// Simulation time at which placement finished.
+    pub t: SimTime,
+    /// Core that performs the measurement.
+    pub measurer: CoreId,
+}
+
 impl LatencyScenario {
     /// Run the scenario; returns mean ns per access.
     pub fn run(&self) -> f64 {
         self.run_detailed().0
     }
 
-    /// Run and also return the fraction of reads served from memory
-    /// (the paper's REMOTE_DRAM-style diagnostic).
-    pub fn run_detailed(&self) -> (f64, f64) {
+    /// Build the system and run the placement phase, stopping just short
+    /// of the measurement chase.
+    pub fn prepare(&self) -> PreparedScenario {
         let mut sys = System::new(SystemConfig::e5_2680_v3(self.mode));
         let size = self.size.unwrap_or_else(|| size_for_level(self.level));
         let buf = Buffer::on_node(&sys, self.home, size, 0);
@@ -102,7 +118,14 @@ impl LatencyScenario {
             self.level,
             SimTime::ZERO,
         );
-        let m = pointer_chase(&mut sys, self.measurer, &buf.lines, t, 0xC0FFEE);
+        PreparedScenario { sys, lines: buf.lines, t, measurer: self.measurer }
+    }
+
+    /// Run and also return the fraction of reads served from memory
+    /// (the paper's REMOTE_DRAM-style diagnostic).
+    pub fn run_detailed(&self) -> (f64, f64) {
+        let mut p = self.prepare();
+        let m = pointer_chase(&mut p.sys, p.measurer, &p.lines, p.t, 0xC0FFEE);
         let mem_frac: f64 = m
             .by_source
             .iter()

@@ -29,12 +29,12 @@
 
 use crate::jobs::{JobCtx, JobOutput, JobSpec};
 use crate::parallel::{panic_message, parallel_try_map};
-use hswx_engine::{atomic_write, fnv1a64, fnv1a64_extend, CancelToken};
+use hswx_engine::{atomic_write, fnv1a64, fnv1a64_extend, CancelToken, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Golden-ratio constant used to perturb the job seed per retry attempt.
@@ -95,6 +95,11 @@ pub struct JournalEntry {
     pub degraded: bool,
     /// Artifact file names, in write order.
     pub files: Vec<String>,
+    /// Counter snapshot from the job's successful attempt (sorted by
+    /// name): every simulator the job built drained its walk, snoop,
+    /// HitME, directory, DRAM, QPI, and recovery counters here. Not part
+    /// of the artifact digest — metrics describe the run, not the result.
+    pub metrics: Vec<(String, u64)>,
 }
 
 /// Per-job outcome in the final summary.
@@ -120,6 +125,20 @@ pub struct CampaignSummary {
     pub blocked: Vec<String>,
     /// Whether any job ran in degraded mode.
     pub degraded: bool,
+}
+
+impl CampaignSummary {
+    /// Campaign-wide counter totals, summed over every completed job
+    /// (including journal-resumed ones, whose metrics were persisted).
+    pub fn metrics_totals(&self) -> Vec<(String, u64)> {
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for r in &self.completed {
+            for (name, v) in &r.entry.metrics {
+                *totals.entry(name).or_insert(0) += v;
+            }
+        }
+        totals.into_iter().map(|(n, v)| (n.to_string(), v)).collect()
+    }
 }
 
 impl CampaignSummary {
@@ -223,8 +242,8 @@ impl Supervisor {
             let (results, panics) = parallel_try_map(ready.clone(), |job| {
                 let degraded = cfg.force_degraded
                     || cfg.time_budget.is_some_and(|b| start.elapsed() > b);
-                let (output, attempts) = self.attempt(job, degraded)?;
-                let entry = self.commit(job, &output, attempts, degraded, &state)?;
+                let (output, attempts, metrics) = self.attempt(job, degraded)?;
+                let entry = self.commit(job, &output, attempts, degraded, metrics, &state)?;
                 Ok::<(JournalEntry, bool), String>((entry, degraded))
             });
             for (i, res) in results.into_iter().enumerate() {
@@ -254,7 +273,14 @@ impl Supervisor {
     }
 
     /// Run one job with bounded retries and a per-attempt watchdog.
-    fn attempt(&self, job: &JobSpec, degraded: bool) -> Result<(JobOutput, u32), String> {
+    /// Returns the output, the attempt count, and the counter snapshot of
+    /// the winning attempt's metrics registry.
+    #[allow(clippy::type_complexity)]
+    fn attempt(
+        &self,
+        job: &JobSpec,
+        degraded: bool,
+    ) -> Result<(JobOutput, u32, Vec<(String, u64)>), String> {
         // Test knob: widen the window between job start and commit so
         // kill-and-resume tests can reliably interrupt a live campaign.
         if let Some(ms) =
@@ -268,12 +294,21 @@ impl Supervisor {
             let ctx = JobCtx { seed, degraded };
             // The ambient token reaches every `System` the job constructs,
             // including inside nested parallel sweeps; a deadline overrun
-            // turns the next walk into a typed Cancelled error.
+            // turns the next walk into a typed Cancelled error. The
+            // ambient registry rides along the same way: each simulator
+            // drains its counters into it on drop, and a fresh registry
+            // per attempt keeps failed attempts from polluting the totals.
             let _watchdog = self.cfg.job_deadline.map(|d| {
                 CancelToken::set_ambient(CancelToken::with_deadline(d))
             });
+            let registry = Arc::new(MetricsRegistry::new());
+            let _metrics = MetricsRegistry::set_ambient(Arc::clone(&registry));
+            let t0 = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| (job.run)(&ctx))) {
-                Ok(out) => return Ok((out, attempt + 1)),
+                Ok(out) => {
+                    registry.record("job.wall_ms", t0.elapsed().as_millis() as u64);
+                    return Ok((out, attempt + 1, registry.counters_snapshot()));
+                }
                 Err(payload) => last_err = panic_message(payload),
             }
         }
@@ -291,6 +326,7 @@ impl Supervisor {
         output: &JobOutput,
         attempts: u32,
         degraded: bool,
+        metrics: Vec<(String, u64)>,
         state: &Mutex<BTreeMap<String, JournalEntry>>,
     ) -> Result<JournalEntry, String> {
         for (name, body) in &output.files {
@@ -303,6 +339,7 @@ impl Supervisor {
             attempts,
             degraded,
             files: output.files.iter().map(|(n, _)| n.clone()).collect(),
+            metrics,
         };
         let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
         st.insert(job.id.to_string(), entry.clone());
@@ -314,11 +351,12 @@ impl Supervisor {
         let mut text = format!("{JOURNAL_MAGIC} seed={}\n", self.cfg.seed);
         for (id, e) in entries {
             text.push_str(&format!(
-                "done {id} digest={:016x} attempts={} degraded={} files={}\n",
+                "done {id} digest={:016x} attempts={} degraded={} files={}{}\n",
                 e.digest,
                 e.attempts,
                 e.degraded as u8,
-                e.files.join(",")
+                e.files.join(","),
+                render_metrics(&e.metrics),
             ));
         }
         atomic_write(&self.cfg.journal, text.as_bytes(), self.cfg.fsync)
@@ -387,6 +425,20 @@ impl Supervisor {
                 e.files.join(" ")
             ));
         }
+        // Campaign-wide counter totals, as comments so completeness
+        // checkers that read one line per artifact set are unaffected.
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in entries.values() {
+            for (name, v) in &e.metrics {
+                *totals.entry(name).or_insert(0) += v;
+            }
+        }
+        if !totals.is_empty() {
+            text.push_str("# metrics (summed over jobs)\n");
+            for (name, v) in &totals {
+                text.push_str(&format!("# {name} {v}\n"));
+            }
+        }
         let path = self.cfg.out_dir.join("manifest.txt");
         atomic_write(&path, text.as_bytes(), self.cfg.fsync)
             .map_err(|e| format!("{}: {e}", path.display()))
@@ -405,6 +457,17 @@ fn digest_output(output: &JobOutput) -> u64 {
     h
 }
 
+/// Render a counter snapshot as a ` metrics=name:value,...` journal
+/// suffix (empty string when there are no counters). Counter names never
+/// contain whitespace, commas, or colons, so the encoding is unambiguous.
+fn render_metrics(metrics: &[(String, u64)]) -> String {
+    if metrics.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = metrics.iter().map(|(n, v)| format!("{n}:{v}")).collect();
+    format!(" metrics={}", body.join(","))
+}
+
 fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
     let mut parts = line.split_whitespace();
     if parts.next()? != "done" {
@@ -415,6 +478,7 @@ fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
     let mut attempts = None;
     let mut degraded = None;
     let mut files = None;
+    let mut metrics = Vec::new();
     for kv in parts {
         let (k, v) = kv.split_once('=')?;
         match k {
@@ -422,6 +486,17 @@ fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
             "attempts" => attempts = v.parse().ok(),
             "degraded" => degraded = Some(v == "1"),
             "files" => files = Some(v.split(',').map(str::to_string).collect()),
+            "metrics" => {
+                // Absent in pre-metrics journals; malformed pairs are
+                // dropped rather than failing the whole line.
+                metrics = v
+                    .split(',')
+                    .filter_map(|pair| {
+                        let (n, val) = pair.split_once(':')?;
+                        Some((n.to_string(), val.parse().ok()?))
+                    })
+                    .collect();
+            }
             _ => {} // forward compatibility: ignore unknown keys
         }
     }
@@ -432,6 +507,7 @@ fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
             attempts: attempts?,
             degraded: degraded?,
             files: files?,
+            metrics,
         },
     ))
 }
@@ -660,14 +736,21 @@ mod tests {
             attempts: 3,
             degraded: true,
             files: vec!["x.txt".into(), "x.csv".into()],
+            metrics: vec![("snoop.sent".into(), 42), ("sys.walks".into(), 7)],
         };
         let line = format!(
-            "done myjob digest={:016x} attempts={} degraded=1 files=x.txt,x.csv",
-            entry.digest, entry.attempts
+            "done myjob digest={:016x} attempts={} degraded=1 files=x.txt,x.csv{}",
+            entry.digest,
+            entry.attempts,
+            render_metrics(&entry.metrics),
         );
         let (id, parsed) = parse_done_line(&line).unwrap();
         assert_eq!(id, "myjob");
         assert_eq!(parsed, entry);
+        // Pre-metrics journals parse with empty metrics.
+        let legacy = "done old digest=00000000000000ff attempts=1 degraded=0 files=a.csv";
+        let (_, old) = parse_done_line(legacy).unwrap();
+        assert!(old.metrics.is_empty());
         assert!(parse_done_line("garbage line").is_none());
         assert!(parse_done_line("done only_id").is_none());
     }

@@ -30,21 +30,31 @@ USAGE:
                   --json additionally writes the matrix as JSON)
   hswx campaign  [--out DIR] [--journal FILE] [--resume] [--fsync] [--seed N]
                  [--jobs a,b,..] [--attempts N] [--deadline-ms N]
-                 [--time-budget-ms N] [--degraded]
+                 [--time-budget-ms N] [--degraded] [--metrics-json FILE]
                  (supervised figure/table regeneration: dependency-aware
                   job queue with watchdog deadlines, bounded retry, and a
-                  crash-safe journal; --resume skips journaled jobs)
+                  crash-safe journal; --resume skips journaled jobs;
+                  --metrics-json exports campaign-total protocol counters)
   hswx perfbench [--quick] [--baseline FILE] [--write-baseline] [--out FILE]
                  [--tolerance PCT]
                  (host-throughput walk kernels vs the committed
                   BENCH_perf.json; exits nonzero on a regression)
+  hswx trace     [latency flags] [--accesses N] [--out FILE]
+                 (run a placed-state scenario with the span tracer armed:
+                  writes Chrome/Perfetto trace-event JSON and prints a
+                  terminal waterfall plus an exact latency attribution)
+  hswx explain fig7 [SIZE_KIB] [--fwd N] [--home N]
+                 (trace one read of the Figure 7 HitME/AllocateShared
+                  anomaly and attribute its latency hop by hop)
 
 EXAMPLES:
   hswx latency --state M --level l1 --placer 1 --measurer 0
   hswx bandwidth --level mem --size 67108864 --width avx
   hswx replay mytrace.txt --mode cod --window 8
+  hswx trace --mode cod --state S --level l3 --home 1 --out trace.json
+  hswx explain fig7 128
   hswx faultcheck --quick
-  hswx campaign --out results --resume
+  hswx campaign --out results --resume --metrics-json results/metrics.json
   hswx perfbench --quick";
 
 fn mode_of(flags: &Flags) -> Result<CoherenceMode, String> {
@@ -182,9 +192,181 @@ pub fn bandwidth(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `hswx trace` — run one placed-state latency scenario with the span
+/// tracer attached: placement runs untraced, then `--accesses` reads are
+/// recorded as causally-ordered span trees. Writes Chrome/Perfetto
+/// trace-event JSON to `--out` and prints a terminal waterfall plus the
+/// exact per-component latency attribution of the final access.
+#[cfg(feature = "trace")]
+pub fn trace(argv: &[String]) -> Result<(), String> {
+    use hswx_bench::scenarios::LatencyScenario;
+    let flags = Flags::parse(argv, &[])?;
+    let mode = mode_of(&flags)?;
+    let level = level_of(&flags)?;
+    let state = state_of(&flags)?;
+    let placers = placers_of(&flags)?;
+    let measurer = CoreId(flags.get_parse("measurer", 0u16)?);
+    let home = NodeId(flags.get_parse("home", 0u8)?);
+    let size = flags.get_parse("size", default_size(level))?;
+    let accesses = flags.get_parse("accesses", 4usize)?.max(1);
+    let out_path = flags.get("out", "trace.json").to_string();
+
+    let scenario =
+        LatencyScenario { mode, placers, state, level, home, measurer, size: Some(size) };
+    let mut p = scenario.prepare();
+    p.sys.attach_tracer(hswx_engine::SpanRecorder::with_capacity(1 << 16));
+    let mut t = p.t;
+    for line in p.lines.iter().cycle().take(accesses) {
+        t = p.sys.read(p.measurer, *line, t).done;
+    }
+    let rec = p.sys.take_tracer().expect("tracer attached above");
+    for w in rec.walks() {
+        rec.validate_walk(w).map_err(|e| format!("internal: malformed span tree: {e}"))?;
+    }
+    let json = rec.chrome_json();
+    hswx_engine::trace::validate_trace_json(&json)
+        .map_err(|e| format!("internal: trace JSON failed validation: {e}"))?;
+    hswx_engine::atomic_write(std::path::Path::new(&out_path), json.as_bytes(), false)
+        .map_err(|e| format!("{out_path}: {e}"))?;
+
+    let walk = rec.last_walk().ok_or("no walk recorded")?;
+    println!(
+        "traced {} access(es); Chrome/Perfetto trace written to {out_path}",
+        rec.walks().count()
+    );
+    println!("\nlast access ({:.3} ns end to end):\n", walk.latency().as_ns());
+    print!("{}", rec.waterfall(&walk));
+    print_attribution(&rec, &walk);
+    Ok(())
+}
+
+/// Stub when the binary is built without the `trace` feature.
+#[cfg(not(feature = "trace"))]
+pub fn trace(_argv: &[String]) -> Result<(), String> {
+    Err("this binary was built without the `trace` feature; \
+         rebuild with default features to use `hswx trace`"
+        .into())
+}
+
+/// Print the exact latency attribution of one walk: every row is the
+/// simulated time charged to the innermost span covering it, and the
+/// rows sum to the reported latency to the picosecond (checked here).
+#[cfg(feature = "trace")]
+fn print_attribution(rec: &hswx_engine::SpanRecorder, walk: &hswx_engine::WalkRecord) {
+    let attr = rec.attribution(walk);
+    let total_ns = attr.total.as_ns();
+    println!("\nlatency attribution:");
+    println!("  {:<24} {:<10} {:>10}  {:>6}", "component", "category", "ns", "share");
+    for row in &attr.rows {
+        println!(
+            "  {:<24} {:<10} {:>10.3}  {:>5.1}%",
+            row.name,
+            row.cat,
+            row.time.as_ns(),
+            if total_ns > 0.0 { 100.0 * row.time.as_ns() / total_ns } else { 0.0 },
+        );
+    }
+    let sum: u64 = attr.rows.iter().map(|r| r.time.0).sum();
+    assert_eq!(sum, attr.total.0, "attribution rows must sum to the reported latency");
+    println!("  {:<24} {:<10} {:>10.3}  100.0%  (rows sum exactly)", "total", "", total_ns);
+}
+
+/// `hswx explain fig7 [SIZE_KIB] [--fwd N] [--home N]` — trace one read
+/// of the paper's Figure 7 scenario and explain where every nanosecond
+/// went, naming the HitME/AllocateShared hop behind the anomaly.
+#[cfg(feature = "trace")]
+fn explain_fig7(argv: &[String]) -> Result<(), String> {
+    use hswx_bench::scenarios::{first_core_of, nth_core_of, LatencyScenario};
+    use hswx_haswell::CoherenceMode::ClusterOnDie;
+    let flags = Flags::parse(argv, &[])?;
+    let size_kib: u64 = match flags.positional.first() {
+        Some(s) => s.parse().map_err(|_| format!("bad size (KiB): {s}"))?,
+        None => 128,
+    };
+    let fwd: u8 = flags.get_parse("fwd", 1u8)?;
+    let home: u8 = flags.get_parse("home", 2u8)?;
+    let measurer = first_core_of(ClusterOnDie, 0);
+    let home_core = first_core_of(ClusterOnDie, home);
+    let placers = if fwd == home {
+        vec![home_core, nth_core_of(ClusterOnDie, home, 1)]
+    } else {
+        vec![home_core, first_core_of(ClusterOnDie, fwd)]
+    };
+    let scenario = LatencyScenario {
+        mode: ClusterOnDie,
+        placers,
+        state: PlacedState::Shared,
+        level: Level::L3,
+        home: NodeId(home),
+        measurer,
+        size: Some(size_kib * 1024),
+    };
+    let mut p = scenario.prepare();
+    p.sys.attach_tracer(hswx_engine::SpanRecorder::with_capacity(1 << 14));
+    let out = p.sys.read(p.measurer, p.lines[0], p.t);
+    let rec = p.sys.take_tracer().expect("tracer attached above");
+    let walk = rec.last_walk().ok_or("no walk recorded")?;
+    rec.validate_walk(&walk).map_err(|e| format!("internal: malformed span tree: {e}"))?;
+    if let Some(path) = flags.map_get("out") {
+        let json = rec.chrome_json();
+        hswx_engine::trace::validate_trace_json(&json)
+            .map_err(|e| format!("internal: trace JSON failed validation: {e}"))?;
+        hswx_engine::atomic_write(std::path::Path::new(path), json.as_bytes(), false)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    println!(
+        "Figure 7 point: {size_kib} KiB shared data, forward copy on node {fwd}, \
+         home node {home},"
+    );
+    println!("read by core {} (node 0) under cluster-on-die.\n", p.measurer.0);
+    println!("reported latency: {:.3} ns, data from {:?}\n", out.latency_ns(p.t), out.source);
+    print!("{}", rec.waterfall(&walk));
+    print_attribution(&rec, &walk);
+
+    let tree = rec.tree(&walk);
+    let hitme_hit = tree
+        .iter()
+        .find(|s| s.name == "hitme_lookup")
+        .filter(|s| s.detail.as_deref().is_some_and(|d| d.starts_with("hit")));
+    println!();
+    if let Some(s) = hitme_hit {
+        println!("why memory answers a cache-resident line (the Fig. 7 anomaly):");
+        println!("  The `hitme_lookup` hop above hit the HitME directory cache in");
+        println!("  shared-clean state ({}). That entry was installed by the", s.detail.as_deref().unwrap_or(""));
+        println!("  home agent's AllocateShared policy when placement first pulled the");
+        println!("  line across the socket boundary. A shared-clean HitME hit lets the");
+        println!("  home agent reply straight from its local DRAM — no snoop broadcast,");
+        println!("  no remote-L3 forward — so the load is charged to REMOTE_DRAM even");
+        println!("  though node {fwd}'s L3 still holds the line in Forward state. Once");
+        println!("  the working set outgrows the 14 KiB HitME capacity, the entry is");
+        println!("  evicted, the in-memory directory forces a broadcast, and the remote");
+        println!("  L3 forwards the data instead.");
+    } else {
+        let dir = tree.iter().find(|s| s.name == "dir_read").and_then(|s| s.detail.clone());
+        println!("no HitME hit on this walk: at {size_kib} KiB the line's HitME entry has");
+        println!("been evicted (14 KiB capacity), so the in-memory directory ({})", dir.unwrap_or_else(|| "?".into()));
+        println!("drives a snoop broadcast and the remote L3 forwards the data — the");
+        println!("post-anomaly regime of Figure 7. Retry a smaller size (e.g. 32) to");
+        println!("see the AllocateShared hop.");
+    }
+    Ok(())
+}
+
+#[cfg(not(feature = "trace"))]
+fn explain_fig7(_argv: &[String]) -> Result<(), String> {
+    Err("this binary was built without the `trace` feature; \
+         rebuild with default features to use `hswx explain fig7`"
+        .into())
+}
+
 /// `hswx explain` — run one placed-state access with the protocol
-/// transcript armed and print the steps in order.
+/// transcript armed and print the steps in order. The `fig7` form
+/// instead traces the Figure 7 anomaly point (see [`explain_fig7`]).
 pub fn explain(argv: &[String]) -> Result<(), String> {
+    if argv.first().map(String::as_str) == Some("fig7") {
+        return explain_fig7(&argv[1..]);
+    }
     let flags = Flags::parse(argv, &[])?;
     let mode = mode_of(&flags)?;
     let level = level_of(&flags)?;
@@ -361,11 +543,62 @@ pub fn campaign(argv: &[String]) -> Result<(), String> {
 
     let summary = hswx_bench::Supervisor::new(cfg).run(&jobs)?;
     print!("{summary}");
+
+    // Export campaign-total protocol counters (summed over completed
+    // jobs, resumed ones included) in the metrics-registry JSON schema.
+    if let Some(path) = flags.map_get("metrics-json") {
+        let reg = hswx_engine::MetricsRegistry::new();
+        for (name, v) in summary.metrics_totals() {
+            reg.counter(&name).fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+        }
+        hswx_engine::atomic_write(std::path::Path::new(path), reg.to_json().as_bytes(), false)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics exported to {path}");
+    }
+
+    // One trace artifact per campaign run: a span tree of the Figure 7
+    // anomaly point, so every CI campaign uploads an openable trace.
+    #[cfg(feature = "trace")]
+    {
+        let trace_path = std::path::Path::new(&out_dir).join("campaign_trace.json");
+        write_campaign_trace(&trace_path)?;
+        println!("trace artifact: {}", trace_path.display());
+    }
+
     if summary.ok() {
         Ok(())
     } else {
         Err("campaign completed with failures (summary above)".into())
     }
+}
+
+/// Record the Figure 7 anomaly point (128 KiB, F=1, H=2) as a validated
+/// Chrome trace-event JSON artifact at `path`.
+#[cfg(feature = "trace")]
+fn write_campaign_trace(path: &std::path::Path) -> Result<(), String> {
+    use hswx_bench::scenarios::{first_core_of, LatencyScenario};
+    use hswx_haswell::CoherenceMode::ClusterOnDie;
+    let scenario = LatencyScenario {
+        mode: ClusterOnDie,
+        placers: vec![first_core_of(ClusterOnDie, 2), first_core_of(ClusterOnDie, 1)],
+        state: PlacedState::Shared,
+        level: Level::L3,
+        home: NodeId(2),
+        measurer: first_core_of(ClusterOnDie, 0),
+        size: Some(128 * 1024),
+    };
+    let mut p = scenario.prepare();
+    p.sys.attach_tracer(hswx_engine::SpanRecorder::with_capacity(1 << 14));
+    let mut t = p.t;
+    for line in p.lines.iter().take(4) {
+        t = p.sys.read(p.measurer, *line, t).done;
+    }
+    let rec = p.sys.take_tracer().expect("tracer attached above");
+    let json = rec.chrome_json();
+    hswx_engine::trace::validate_trace_json(&json)
+        .map_err(|e| format!("internal: trace JSON failed validation: {e}"))?;
+    hswx_engine::atomic_write(path, json.as_bytes(), false)
+        .map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// `hswx perfbench` — measure simulator host throughput on the fixed walk

@@ -7,7 +7,8 @@
 //!                [--size BYTES]
 //! hswx bandwidth [same flags] [--width avx|sse] [--write|--write-nt]
 //! hswx replay    FILE [--mode MODE] [--window N]
-//! hswx explain   [latency flags]
+//! hswx trace     [latency flags] [--accesses N] [--out FILE]
+//! hswx explain   [latency flags] | explain fig7 [SIZE_KIB] [--fwd N] [--home N]
 //! hswx apps      [--accesses N]
 //! hswx faultcheck [--quick] [--json FILE]
 //! hswx campaign  [--resume] [--time-budget-ms N] [--jobs a,b,..]
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "latency" => cmds::latency(rest),
         "bandwidth" => cmds::bandwidth(rest),
         "replay" => cmds::replay(rest),
+        "trace" => cmds::trace(rest),
         "explain" => cmds::explain(rest),
         "apps" => cmds::apps(rest),
         "faultcheck" => cmds::faultcheck(rest),

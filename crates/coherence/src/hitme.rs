@@ -155,6 +155,12 @@ impl HitMeCache {
             self.hits as f64 / t as f64
         }
     }
+
+    /// Counter totals in one stable shape for metrics aggregation:
+    /// `[hits, misses, allocs, evictions]`.
+    pub fn counters(&self) -> [u64; 4] {
+        [self.hits, self.misses, self.allocs, self.evictions]
+    }
 }
 
 #[cfg(test)]

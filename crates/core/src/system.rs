@@ -23,9 +23,12 @@ use hswx_coherence::{
     ha_read_dir_plan, CaAction, CoreState, DataSource, DirState, HitMeCache, HitMeEntry,
     InMemoryDirectory, L3Meta, MesifState, NodeSet, ProtocolConfig, ReqType, SnoopMode,
 };
+#[cfg(feature = "trace")]
+use hswx_engine::trace::{EventSink as _, SpanRecorder};
+use hswx_engine::trace::SpanId;
 use hswx_engine::{
-    fnv1a64, fnv1a64_extend, CancelToken, FxHashMap, SimDuration, SimTime, ThroughputResource,
-    TimedPool,
+    fnv1a64, fnv1a64_extend, CancelToken, FxHashMap, MetricsRegistry, SimDuration, SimTime,
+    ThroughputResource, TimedPool,
 };
 use hswx_mem::{
     CoreId, HaId, LineAddr, MemoryController, NodeId, SetAssocCache, SliceId,
@@ -229,6 +232,22 @@ pub struct System {
     cancel: Option<CancelToken>,
     /// Stride counter for the cancel token's deadline polling.
     cancel_polls: u32,
+    /// Structured span tracer (see `hswx_engine::trace`); `None` — the
+    /// default — disables tracing at runtime for one predictable branch
+    /// per instrumented site. Absent entirely without the `trace` feature.
+    #[cfg(feature = "trace")]
+    tracer: Option<Box<SpanRecorder>>,
+    /// Root span of the walk in flight (tracer attached only).
+    #[cfg(feature = "trace")]
+    walk_span: Option<SpanId>,
+    /// Ambient metrics registry captured at construction (see
+    /// `hswx_engine::metrics`); `None` outside supervised runs.
+    metrics: Option<std::sync::Arc<MetricsRegistry>>,
+    /// `stats.snoops_sent` at walk start (snoop fan-out accounting).
+    walk_snoop_base: u64,
+    /// Per-walk snoop fan-out tallies (index 8 = "8 or more"); local and
+    /// unsynchronized, published to the registry when the system drops.
+    fanout_bins: [u64; 9],
 
     /// Event counters.
     pub stats: Stats,
@@ -314,6 +333,13 @@ impl System {
             faults: FaultState::default(),
             cancel: CancelToken::ambient(),
             cancel_polls: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            walk_span: None,
+            metrics: MetricsRegistry::ambient(),
+            walk_snoop_base: 0,
+            fanout_bins: [0; 9],
             stats: Stats::default(),
             recovery: RecoveryStats::default(),
             cfg,
@@ -397,6 +423,317 @@ impl System {
     }
 
     // ------------------------------------------------------------------
+    // structured span tracing (runtime-gated; compiled out without the
+    // `trace` feature)
+    // ------------------------------------------------------------------
+
+    /// Attach a span tracer: every subsequent walk records a
+    /// causally-ordered span tree into it. Tracing is observation-only —
+    /// latencies, data sources, statistics, and [`state_digest`]
+    /// (`Self::state_digest`) are bit-identical with it on or off.
+    #[cfg(feature = "trace")]
+    pub fn attach_tracer(&mut self, recorder: SpanRecorder) {
+        self.tracer = Some(Box::new(recorder));
+    }
+
+    /// Detach the tracer, returning everything it recorded.
+    #[cfg(feature = "trace")]
+    pub fn take_tracer(&mut self) -> Option<SpanRecorder> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// Whether a span tracer is currently attached.
+    #[cfg(feature = "trace")]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Whether the next walk must record spans. The walk entry points
+    /// test this once and select the `TRACED = true` monomorphization;
+    /// `TRACED = false` is a compile-time promise that no tracer is
+    /// attached, discharging every instrumented site for free.
+    #[inline(always)]
+    fn trace_armed(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.tracer.is_some()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Record a complete component span (no-op unless a tracer is
+    /// attached; with the `trace` feature off this folds away entirely).
+    ///
+    /// Every instrumented walk function is monomorphized over
+    /// `const TRACED: bool` and the entry points ([`try_read`]
+    /// (Self::try_read), [`try_write`](Self::try_write), `write_nt`,
+    /// `flush`) pick the variant with one `tracer.is_some()` test per
+    /// walk. The `TRACED = false` copies contain no instrumentation at
+    /// all — not even a branch — so the disabled hot path is
+    /// instruction-identical to a build without the feature (the CI
+    /// tracing-overhead gate holds the cost under 2% on the perfbench
+    /// kernels). In the `TRACED = true` copies all recording work lives
+    /// in `#[cold]` `#[inline(never)]` out-of-line companions.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn span_leaf<const TRACED: bool>(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        #[cfg(feature = "trace")]
+        if TRACED && self.tracer.is_some() {
+            self.span_leaf_cold(name, cat, start, end);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn span_leaf_cold(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.leaf(name, cat, start, end);
+        }
+    }
+
+    /// Like [`span_leaf`](Self::span_leaf) but attaches a detail string,
+    /// built only when a tracer is attached.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn span_leaf_with<const TRACED: bool, F: FnOnce() -> String>(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+        detail: F,
+    ) {
+        #[cfg(feature = "trace")]
+        if TRACED && self.tracer.is_some() {
+            self.span_leaf_with_cold(name, cat, start, end, detail);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn span_leaf_with_cold(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            let id = tr.leaf(name, cat, start, end);
+            tr.detail(id, detail());
+        }
+    }
+
+    /// Open an enclosing span; pair with [`span_end`](Self::span_end).
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn span_begin<const TRACED: bool>(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        at: SimTime,
+    ) -> Option<SpanId> {
+        #[cfg(feature = "trace")]
+        if TRACED && self.tracer.is_some() {
+            return self.span_begin_cold(name, cat, at);
+        }
+        None
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn span_begin_cold(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        at: SimTime,
+    ) -> Option<SpanId> {
+        self.tracer.as_deref_mut().map(|tr| tr.begin(name, cat, at))
+    }
+
+    /// Close a span opened by [`span_begin`](Self::span_begin).
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn span_end(&mut self, id: Option<SpanId>, at: SimTime) {
+        #[cfg(feature = "trace")]
+        if let Some(id) = id {
+            self.span_end_cold(id, at);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn span_end_cold(&mut self, id: SpanId, at: SimTime) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.end(id, at);
+        }
+    }
+
+    /// Attach a detail string to an open or closed span.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn span_detail(&mut self, id: Option<SpanId>, detail: impl FnOnce() -> String) {
+        #[cfg(feature = "trace")]
+        if let Some(id) = id {
+            self.span_detail_cold(id, detail);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn span_detail_cold(&mut self, id: SpanId, detail: impl FnOnce() -> String) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.detail(id, detail());
+        }
+    }
+
+    /// Open the root span of a walk.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn walk_span_open(&mut self, name: &'static str, t: SimTime) {
+        #[cfg(feature = "trace")]
+        if self.tracer.is_some() {
+            self.walk_span_open_cold(name, t);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn walk_span_open_cold(&mut self, name: &'static str, t: SimTime) {
+        self.walk_span = self.span_begin_cold(name, "walk", t);
+    }
+
+    /// Close the walk's root span and file the walk record: the reported
+    /// `[issued, done]` interval drives exact latency attribution.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn walk_span_close(&mut self, issued: SimTime, res: &Result<AccessOutcome, SimError>) {
+        #[cfg(feature = "trace")]
+        if self.walk_span.is_some() {
+            self.walk_span_close_cold(issued, res);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn walk_span_close_cold(&mut self, issued: SimTime, res: &Result<AccessOutcome, SimError>) {
+        let Some(root) = self.walk_span.take() else { return };
+        let Some(tr) = self.tracer.as_deref_mut() else { return };
+        match res {
+            Ok(out) => {
+                tr.detail(root, format!("source={:?}", out.source));
+                tr.end(root, out.done);
+                tr.record_walk(root, issued, out.done);
+            }
+            // Aborted walk: close the root so the stack stays
+            // balanced, but record no walk — there is no latency
+            // to attribute.
+            Err(_) => tr.end(root, issued),
+        }
+    }
+
+    /// Publish aggregate counters into the ambient metrics registry
+    /// captured at construction (no-op without one). Runs automatically
+    /// when the system drops; calling it earlier flushes once and
+    /// disconnects the registry.
+    pub fn flush_metrics(&mut self) {
+        let Some(reg) = self.metrics.take() else { return };
+        reg.add("sys.walks", self.txn_count);
+        reg.add("sys.rfos", self.stats.rfos);
+        reg.add("snoop.sent", self.stats.snoops_sent);
+        reg.add("snoop.dir_broadcasts", self.stats.dir_broadcasts);
+        reg.add("read.remote_dram_fwd", self.stats.remote_dram_fwd);
+        reg.add("read.remote_cache_fwd", self.stats.remote_cache_fwd);
+        for (&src, &n) in &self.stats.reads_by_source {
+            let key = match src {
+                DataSource::SelfL1 => "read.self_l1",
+                DataSource::SelfL2 => "read.self_l2",
+                DataSource::LocalL3 => "read.local_l3",
+                DataSource::LocalCore => "read.local_core",
+                DataSource::PeerL3(_) => "read.peer_l3",
+                DataSource::PeerCore(_) => "read.peer_core",
+                DataSource::Memory(_) => "read.memory",
+            };
+            reg.add(key, n);
+        }
+        for (i, &n) in self.fanout_bins.iter().enumerate() {
+            const FANOUT: [&str; 9] = [
+                "snoop.fanout.0",
+                "snoop.fanout.1",
+                "snoop.fanout.2",
+                "snoop.fanout.3",
+                "snoop.fanout.4",
+                "snoop.fanout.5",
+                "snoop.fanout.6",
+                "snoop.fanout.7",
+                "snoop.fanout.8plus",
+            ];
+            reg.add(FANOUT[i], n);
+        }
+        let mut hitme = [0u64; 4];
+        for hm in &self.hitme {
+            for (slot, v) in hitme.iter_mut().zip(hm.counters()) {
+                *slot += v;
+            }
+        }
+        reg.add("hitme.hits", hitme[0]);
+        reg.add("hitme.misses", hitme[1]);
+        reg.add("hitme.allocs", hitme[2]);
+        reg.add("hitme.evictions", hitme[3]);
+        let (mut dreads, mut dwrites) = (0, 0);
+        for d in &self.dir {
+            dreads += d.reads;
+            dwrites += d.writes;
+        }
+        reg.add("directory.reads", dreads);
+        reg.add("directory.writes", dwrites);
+        let mut dram = [0u64; 6];
+        for mc in &self.mem {
+            let t = mc.totals();
+            for (slot, v) in dram.iter_mut().zip(t) {
+                *slot += v;
+            }
+        }
+        reg.add("dram.reads", dram[0]);
+        reg.add("dram.writes", dram[1]);
+        reg.add("dram.row_hits", dram[2]);
+        reg.add("dram.row_closed", dram[3]);
+        reg.add("dram.row_conflicts", dram[4]);
+        reg.add("dram.bytes", dram[5]);
+        reg.add("dram.writebacks", self.stats.dram_writebacks);
+        reg.add("qpi.bytes", self.qpi.iter().map(|q| q.total_bytes()).sum());
+        reg.add("recovery.crc_messages", self.recovery.crc_messages);
+        reg.add("recovery.crc_retries", self.recovery.crc_retries);
+        reg.add("recovery.link_failures", self.recovery.link_failures);
+        reg.add("recovery.dir_retries", self.recovery.dir_retries);
+        reg.add("recovery.hitme_retries", self.recovery.hitme_retries);
+        reg.add("recovery.poison_blocked", self.recovery.poison_blocked);
+    }
+
+    // ------------------------------------------------------------------
     // messaging primitives
     // ------------------------------------------------------------------
 
@@ -409,7 +746,13 @@ impl System {
     /// latency — protocol state and statistics never see it. A burst that
     /// exhausts the retry bound marks the walk's link as failed; the walk
     /// converts that to [`SimError::QpiLinkFailure`] when it closes.
-    fn send(&mut self, t: SimTime, from: Endpoint, to: Endpoint, bytes: u64) -> SimTime {
+    fn send<const TRACED: bool>(
+        &mut self,
+        t: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        bytes: u64,
+    ) -> SimTime {
         self.walk_steps = self.walk_steps.saturating_add(1);
         let d = self.topo.distance(from, to);
         let transit = self.cal.transit(d);
@@ -419,6 +762,7 @@ impl System {
             let idx = sa.0 as usize * self.cfg.sockets as usize + sb.0 as usize;
             let serialized = self.qpi[idx].transfer(t, bytes);
             let mut at = serialized + transit;
+            let hop_done = at;
             if self.faults.qpi_crc > 0 {
                 let (outcome, consumed) = self.faults.link_retry.resolve(self.faults.qpi_crc);
                 self.faults.qpi_crc -= consumed;
@@ -434,9 +778,17 @@ impl System {
                     self.faults.link_failed = Some(retries);
                 }
             }
+            self.span_leaf_with::<TRACED, _>("qpi_hop", "qpi", t, hop_done, || {
+                format!("{from:?}\u{2192}{to:?} {bytes}B")
+            });
+            if at > hop_done {
+                self.span_leaf::<TRACED>("qpi_crc_replay", "qpi", hop_done, at);
+            }
             at
         } else {
-            t + transit
+            let at = t + transit;
+            self.span_leaf::<TRACED>("ring_hop", "ring", t, at);
+            at
         }
     }
 
@@ -462,6 +814,7 @@ impl System {
     /// failure can explain itself.
     fn begin_walk(&mut self) {
         self.walk_steps = 0;
+        self.walk_snoop_base = self.stats.snoops_sent;
         if self.monitor.is_some() && self.trace_log.is_none() {
             // Reuse the scratch buffer: no allocation in steady state.
             self.trace_log = Some(std::mem::take(&mut self.trace_scratch));
@@ -573,6 +926,10 @@ impl System {
             return Err(self.link_failure_error(core, line, retries));
         }
         self.txn_count += 1;
+        if self.metrics.is_some() {
+            let fan = (self.stats.snoops_sent - self.walk_snoop_base).min(8) as usize;
+            self.fanout_bins[fan] += 1;
+        }
         let Some(mon) = self.monitor else {
             return Ok(out);
         };
@@ -745,11 +1102,19 @@ impl System {
         t: SimTime,
     ) -> Result<AccessOutcome, SimError> {
         self.begin_walk();
-        let res = self.read_walk(core, line, t);
-        self.end_walk(core, line, t, res)
+        if self.trace_armed() {
+            self.walk_span_open("read", t);
+            let res = self.read_walk::<true>(core, line, t);
+            let res = self.end_walk(core, line, t, res);
+            self.walk_span_close(t, &res);
+            res
+        } else {
+            let res = self.read_walk::<false>(core, line, t);
+            self.end_walk(core, line, t, res)
+        }
     }
 
-    fn read_walk(
+    fn read_walk<const TRACED: bool>(
         &mut self,
         core: CoreId,
         line: LineAddr,
@@ -762,19 +1127,20 @@ impl System {
         // L1 hit.
         if let Some(&st) = self.l1[ci].access(line).map(|s| &*s) {
             if st == CoreState::Shared {
-                if let Some(out) = self.shared_hit_reclaim(core, line, t) {
+                if let Some(out) = self.shared_hit_reclaim::<TRACED>(core, line, t) {
                     return Ok(out);
                 }
             }
             self.log(t, ProtoStep::PrivateHit { level: 1 });
             let out = AccessOutcome { done: t + self.ns(self.cal.t_l1), source: DataSource::SelfL1 };
+            self.span_leaf::<TRACED>("l1_hit", "core", t, out.done);
             self.stats.tally_read(out.source);
             return Ok(out);
         }
         // L2 hit.
         if let Some(&st) = self.l2[ci].access(line).map(|s| &*s) {
             if st == CoreState::Shared {
-                if let Some(out) = self.shared_hit_reclaim(core, line, t) {
+                if let Some(out) = self.shared_hit_reclaim::<TRACED>(core, line, t) {
                     return Ok(out);
                 }
             }
@@ -782,10 +1148,11 @@ impl System {
             self.fill_private(core, line, st, t);
             self.log(t, ProtoStep::PrivateHit { level: 2 });
             let out = AccessOutcome { done: t + self.ns(self.cal.t_l2), source: DataSource::SelfL2 };
+            self.span_leaf::<TRACED>("l2_hit", "core", t, out.done);
             self.stats.tally_read(out.source);
             return Ok(out);
         }
-        let out = self.read_via_ca(core, line, t)?;
+        let out = self.read_via_ca::<TRACED>(core, line, t)?;
         self.stats.tally_read(out.source);
         Ok(out)
     }
@@ -793,7 +1160,7 @@ impl System {
     /// The paper's F-state reclaim effect (§VI-C, Fig. 9): a hit on a
     /// Shared line whose node lacks the Forward copy notifies the caching
     /// agent to reclaim F, costing a full L3 round trip.
-    fn shared_hit_reclaim(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> Option<AccessOutcome> {
+    fn shared_hit_reclaim<const TRACED: bool>(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> Option<AccessOutcome> {
         let node = self.topo.node_of_core(core);
         let slice = self.topo.slice_for_line(line, node);
         // Reclaim: this node becomes the forwarder; the previous F holder
@@ -818,19 +1185,24 @@ impl System {
                 }
             }
         }
+        let sp = self.span_begin::<TRACED>("f_reclaim", "coherence", t);
         let t_req = t + self.ns(self.cal.t_miss_path);
-        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+        let t_at_ca = self.send::<TRACED>(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
         let t_arr = t_at_ca + self.ns(self.cal.t_l3_array);
+        self.span_leaf::<TRACED>("l3_array", "mem", t_at_ca, t_arr);
         let t_data = self.l3_port[slice.0 as usize].transfer(t_arr, 64);
-        let done = self.send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
-            + self.ns(self.cal.t_fill);
+        self.span_leaf::<TRACED>("l3_port", "mem", t_arr, t_data);
+        let t_sent = self.send::<TRACED>(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data);
+        let done = t_sent + self.ns(self.cal.t_fill);
+        self.span_leaf::<TRACED>("fill", "core", t_sent, done);
+        self.span_end(sp, done);
         let out = AccessOutcome { done, source: DataSource::LocalL3 };
         self.stats.tally_read(out.source);
         Some(out)
     }
 
     /// Node-level read: consult the local caching agent.
-    fn read_via_ca(
+    fn read_via_ca<const TRACED: bool>(
         &mut self,
         core: CoreId,
         line: LineAddr,
@@ -840,17 +1212,20 @@ impl System {
         let local = self.topo.node_local_core(core);
         let slice = self.topo.slice_for_line(line, node);
         let t_req = t + self.ns(self.cal.t_miss_path);
-        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+        let t_at_ca = self.send::<TRACED>(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
 
         let meta_snapshot = self.l3[slice.0 as usize].access(line).map(|m| *m);
         self.log(t_at_ca, ProtoStep::CaLookup { slice, hit: meta_snapshot.is_some() });
         match ca_local_action(ReqType::Read, meta_snapshot.as_ref(), local) {
             CaAction::ServeFromL3 => {
                 let t_arr = t_at_ca + self.ns(self.cal.t_l3_array);
+                self.span_leaf::<TRACED>("l3_array", "mem", t_at_ca, t_arr);
                 let t_data = self.l3_port[slice.0 as usize].transfer(t_arr, 64);
-                let done = self
-                    .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
-                    + self.ns(self.cal.t_fill);
+                self.span_leaf::<TRACED>("l3_port", "mem", t_arr, t_data);
+                let t_sent =
+                    self.send::<TRACED>(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data);
+                let done = t_sent + self.ns(self.cal.t_fill);
+                self.span_leaf::<TRACED>("fill", "core", t_sent, done);
                 // The line can only have vanished between the lookup above
                 // and here through injected corruption; fill Shared and let
                 // the invariant scan report the damage.
@@ -871,9 +1246,9 @@ impl System {
                 Ok(AccessOutcome { done, source: DataSource::LocalL3 })
             }
             CaAction::SnoopLocalCore { local_core } => {
-                Ok(self.local_core_snoop_read(core, line, t_at_ca, slice, node, local, local_core))
+                Ok(self.local_core_snoop_read::<TRACED>(core, line, t_at_ca, slice, node, local, local_core))
             }
-            CaAction::Miss => Ok(self.node_miss_read(core, line, t_at_ca, slice, node, local)),
+            CaAction::Miss => Ok(self.node_miss_read::<TRACED>(core, line, t_at_ca, slice, node, local)),
             other => Err(self.unexpected(ReqType::Read, other, core, line)),
         }
     }
@@ -881,7 +1256,7 @@ impl System {
     /// Local CA found a single possibly-newer copy in another core: probe
     /// it; data comes from that core (M) or from the L3 (clean/evicted).
     #[allow(clippy::too_many_arguments)]
-    fn local_core_snoop_read(
+    fn local_core_snoop_read<const TRACED: bool>(
         &mut self,
         core: CoreId,
         line: LineAddr,
@@ -894,7 +1269,7 @@ impl System {
         self.stats.snoops_sent += 1;
         let target = self.topo.cores_of_node(node)[target_local as usize];
         let t_snp = t_at_ca + self.ns(self.cal.t_l3_tag);
-        let t_probe_at = self.send(t_snp, Endpoint::Slice(slice), Endpoint::Core(target), self.cal.msg_ctl);
+        let t_probe_at = self.send::<TRACED>(t_snp, Endpoint::Slice(slice), Endpoint::Core(target), self.cal.msg_ctl);
         let ti = target.0 as usize;
 
         // Probe the target's private caches; the target core answers one
@@ -918,6 +1293,9 @@ impl System {
         self.fwd_busy[ti] = t_serve + self.ns(occ_ns);
         let t_probe_done = t_serve + self.ns(probe_ns);
         self.log(t_probe_done, ProtoStep::LocalCoreProbe { target, forwarded: fwd });
+        self.span_leaf_with::<TRACED, _>("probe_core", "coherence", t_serve, t_probe_done, || {
+            format!("core{} fwd={fwd}", target.0)
+        });
 
         if fwd {
             // Target demotes to Shared; data goes core→core.
@@ -927,9 +1305,10 @@ impl System {
             if let Some(s) = self.l2[ti].peek_mut(line) {
                 *s = CoreState::Shared;
             }
-            let done = self
-                .send(t_probe_done, Endpoint::Core(target), Endpoint::Core(core), self.cal.msg_data)
-                + self.ns(self.cal.t_fill);
+            let t_sent =
+                self.send::<TRACED>(t_probe_done, Endpoint::Core(target), Endpoint::Core(core), self.cal.msg_data);
+            let done = t_sent + self.ns(self.cal.t_fill);
+            self.span_leaf::<TRACED>("fill", "core", t_sent, done);
             if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
                 meta.state = MesifState::Modified; // L3 absorbs the dirty data
                 meta.add_core(local);
@@ -948,13 +1327,16 @@ impl System {
                 }
             }
             let t_resp_at_ca =
-                self.send(t_probe_done, Endpoint::Core(target), Endpoint::Slice(slice), self.cal.msg_ctl);
+                self.send::<TRACED>(t_probe_done, Endpoint::Core(target), Endpoint::Slice(slice), self.cal.msg_ctl);
             let t_arr = t_at_ca + self.ns(self.cal.t_l3_array);
+            self.span_leaf::<TRACED>("l3_array", "mem", t_at_ca, t_arr);
             let t_array = self.l3_port[slice.0 as usize].transfer(t_arr, 64);
+            self.span_leaf::<TRACED>("l3_port", "mem", t_arr, t_array);
             let t_data = t_resp_at_ca.max(t_array);
-            let done = self
-                .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
-                + self.ns(self.cal.t_fill);
+            let t_sent =
+                self.send::<TRACED>(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data);
+            let done = t_sent + self.ns(self.cal.t_fill);
+            self.span_leaf::<TRACED>("fill", "core", t_sent, done);
             if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
                 meta.add_core(local);
             }
@@ -964,7 +1346,7 @@ impl System {
     }
 
     /// Probe one peer node's caching agent with a data snoop.
-    fn probe_peer(
+    fn probe_peer<const TRACED: bool>(
         &mut self,
         peer: NodeId,
         line: LineAddr,
@@ -980,20 +1362,20 @@ impl System {
         // fabricates an instant "no copy" response without consulting the
         // peer at all; a delayed one stalls before delivery.
         if self.faults.take_drop() {
-            let resp_at_ha = self.send(t_sent, from, Endpoint::Ha(ha), self.cal.msg_ctl);
+            let resp_at_ha = self.send::<TRACED>(t_sent, from, Endpoint::Ha(ha), self.cal.msg_ctl);
             return PeerProbe { resp_at_ha, forward: None, keeps_copy: false };
         }
         let t_sent = match self.faults.take_delay() {
             Some(delay_ns) => t_sent + self.ns(delay_ns),
             None => t_sent,
         };
-        let t_at_peer = self.send(t_sent, from, Endpoint::Slice(pslice), self.cal.msg_ctl);
+        let t_at_peer = self.send::<TRACED>(t_sent, from, Endpoint::Slice(pslice), self.cal.msg_ctl);
         let t_lookup = t_at_peer + self.ns(self.cal.t_l3_tag);
 
         let meta = self.l3[pslice.0 as usize].peek(line).copied();
         let Some(mut m) = meta else {
             let resp_at_ha =
-                self.send(t_lookup, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
+                self.send::<TRACED>(t_lookup, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
             return PeerProbe { resp_at_ha, forward: None, keeps_copy: false };
         };
 
@@ -1004,7 +1386,7 @@ impl System {
         if let Some(target_local) = m.snoop_probe_target() {
             let target = self.topo.cores_of_node(peer)[target_local as usize];
             let t_probe_at =
-                self.send(t_lookup, Endpoint::Slice(pslice), Endpoint::Core(target), self.cal.msg_ctl);
+                self.send::<TRACED>(t_lookup, Endpoint::Slice(pslice), Endpoint::Core(target), self.cal.msg_ctl);
             let ti = target.0 as usize;
             let in_l1 = self.l1[ti].peek(line).copied();
             let in_l2 = self.l2[ti].peek(line).copied();
@@ -1025,6 +1407,9 @@ impl System {
             self.fwd_busy[ti] = t_serve + self.ns(occ_ns);
             let t_probe_done = t_serve + self.ns(probe_ns);
             self.log(t_probe_done, ProtoStep::PeerCoreProbe { node: peer, target, forwarded: from_core });
+            self.span_leaf_with::<TRACED, _>("probe_core", "coherence", t_serve, t_probe_done, || {
+                format!("node{} core{} fwd={from_core}", peer.0, target.0)
+            });
             if from_core {
                 source = DataSource::PeerCore(peer);
                 if let Some(s) = self.l1[ti].peek_mut(line) {
@@ -1036,15 +1421,17 @@ impl System {
                 // Data is forwarded straight from the probed core.
                 let dirty_wb = m.state.is_dirty() || from_core;
                 let t_fwd = t_probe_done + self.ns(self.cal.t_ca_fwd);
-                let data_at = self
-                    .send(t_fwd, Endpoint::Core(target), Endpoint::Core(requester_core), self.cal.msg_data)
-                    + self.ns(self.cal.t_fill);
+                let t_sent = self
+                    .send::<TRACED>(t_fwd, Endpoint::Core(target), Endpoint::Core(requester_core), self.cal.msg_data);
+                let data_at = t_sent + self.ns(self.cal.t_fill);
+                self.span_leaf::<TRACED>("fill", "core", t_sent, data_at);
                 let resp_at_ha =
-                    self.send(t_probe_done, Endpoint::Core(target), Endpoint::Ha(ha), self.cal.msg_ctl);
+                    self.send::<TRACED>(t_probe_done, Endpoint::Core(target), Endpoint::Ha(ha), self.cal.msg_ctl);
                 // Node demotes to Shared; dirty data also goes home.
                 m.state = MesifState::Shared;
                 if dirty_wb {
-                    self.mem[ha.0 as usize].access(resp_at_ha, line, true);
+                    let (wb_done, _) = self.mem[ha.0 as usize].access(resp_at_ha, line, true);
+                    self.span_leaf::<TRACED>("dram_wb", "mem", resp_at_ha, wb_done);
                     self.stats.dram_writebacks += 1;
                 }
                 if let Some(slot) = self.l3[pslice.0 as usize].peek_mut(line) {
@@ -1063,7 +1450,7 @@ impl System {
                     }
                 }
             }
-            probe_resp_at_ca = Some(self.send(
+            probe_resp_at_ca = Some(self.send::<TRACED>(
                 t_probe_done,
                 Endpoint::Core(target),
                 Endpoint::Slice(pslice),
@@ -1074,19 +1461,23 @@ impl System {
         if m.state.can_forward() {
             let dirty = m.state.is_dirty();
             let t_arr = t_lookup + self.ns(self.cal.t_l3_array);
+            self.span_leaf::<TRACED>("l3_array", "mem", t_lookup, t_arr);
             let mut t_data = self.l3_port[pslice.0 as usize].transfer(t_arr, 64);
+            self.span_leaf::<TRACED>("l3_port", "mem", t_arr, t_data);
             if let Some(resp) = probe_resp_at_ca {
                 t_data = t_data.max(resp);
             }
             t_data += self.ns(self.cal.t_ca_fwd);
-            let data_at = self
-                .send(t_data, Endpoint::Slice(pslice), Endpoint::Core(requester_core), self.cal.msg_data)
-                + self.ns(self.cal.t_fill);
+            let t_sent = self
+                .send::<TRACED>(t_data, Endpoint::Slice(pslice), Endpoint::Core(requester_core), self.cal.msg_data);
+            let data_at = t_sent + self.ns(self.cal.t_fill);
+            self.span_leaf::<TRACED>("fill", "core", t_sent, data_at);
             let resp_at_ha =
-                self.send(t_data, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
+                self.send::<TRACED>(t_data, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
             m.state = m.state.after_forwarding_read();
             if dirty {
-                self.mem[ha.0 as usize].access(resp_at_ha, line, true);
+                let (wb_done, _) = self.mem[ha.0 as usize].access(resp_at_ha, line, true);
+                self.span_leaf::<TRACED>("dram_wb", "mem", resp_at_ha, wb_done);
                 self.stats.dram_writebacks += 1;
             }
             if let Some(slot) = self.l3[pslice.0 as usize].peek_mut(line) {
@@ -1098,7 +1489,7 @@ impl System {
             // Shared copy: cannot forward; just acknowledge.
             let t_ack = probe_resp_at_ca.map_or(t_lookup, |r| r.max(t_lookup));
             let resp_at_ha =
-                self.send(t_ack, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
+                self.send::<TRACED>(t_ack, Endpoint::Slice(pslice), Endpoint::Ha(ha), self.cal.msg_ctl);
             PeerProbe { resp_at_ha, forward: None, keeps_copy: m.state.is_valid() }
         }
     }
@@ -1106,7 +1497,7 @@ impl System {
     /// Full node-level read miss: source or home snooping, directory,
     /// HitME, memory.
     #[allow(clippy::too_many_arguments)]
-    fn node_miss_read(
+    fn node_miss_read<const TRACED: bool>(
         &mut self,
         core: CoreId,
         line: LineAddr,
@@ -1118,6 +1509,7 @@ impl System {
         let home = self.topo.home_node_of_line(line);
         let ha = self.topo.ha_for_line(line);
         let t_miss = t_at_ca + self.ns(self.cal.t_l3_tag);
+        self.span_leaf::<TRACED>("cbo_tag", "coherence", t_at_ca, t_miss);
         let all = self.all_nodes();
 
         let mut probes: Vec<PeerProbe> = Vec::new();
@@ -1125,14 +1517,18 @@ impl System {
         // Source snooping: the CA broadcasts to every other node now.
         if self.proto.mode == SnoopMode::Source {
             for peer in all.without(node).iter() {
-                let p = self.probe_peer(peer, line, t_miss, Endpoint::Slice(slice), core, ha);
+                let sp = self.span_begin::<TRACED>("snoop", "coherence", t_miss);
+                let p = self.probe_peer::<TRACED>(peer, line, t_miss, Endpoint::Slice(slice), core, ha);
+                self.span_detail(sp, || format!("node{}", peer.0));
+                self.span_end(sp, p.resp_at_ha);
                 probes.push(p);
             }
         }
 
         // Request travels to the home agent; tracker admission control.
         self.log(t_miss, ProtoStep::HomeRequest { ha });
-        let req_at_ha = self.send(t_miss, Endpoint::Slice(slice), Endpoint::Ha(ha), self.cal.msg_ctl);
+        let req_at_ha = self.send::<TRACED>(t_miss, Endpoint::Slice(slice), Endpoint::Ha(ha), self.cal.msg_ctl);
+        let ha_span = self.span_begin::<TRACED>("home_agent", "coherence", req_at_ha);
         // Which tracker pool: COD partitions by cluster, the two-socket
         // modes by socket (QPI RTID preallocation).
         let remote_req = if self.proto.directory {
@@ -1143,13 +1539,17 @@ impl System {
         let pool = &mut self.trackers[ha.0 as usize][remote_req as usize];
         let t_admitted = pool.wait_for_slot(req_at_ha);
         let mut t_arrival = t_admitted + self.ns(self.cal.t_ha);
+        self.span_leaf::<TRACED>("tracker_wait", "coherence", req_at_ha, t_admitted);
+        self.span_leaf::<TRACED>("ha_pipeline", "coherence", t_admitted, t_arrival);
 
         // Transient HitME SRAM read glitch (injected): the HA re-reads
         // the directory cache, stalling its pipeline one access latency.
         // Pure timing — the lookup below sees the same entry either way.
         if self.proto.hitme && self.faults.take_hitme_glitch() {
             self.recovery.hitme_retries += 1;
+            let before = t_arrival;
             t_arrival += self.ns(self.cal.t_hitme);
+            self.span_leaf::<TRACED>("hitme_reread", "coherence", before, t_arrival);
             self.log(t_arrival, ProtoStep::HitMeRetry);
         }
 
@@ -1159,6 +1559,10 @@ impl System {
                 .lookup(line)
                 .map(|e| (e.nodes, e.clean));
             self.log(t_arrival, ProtoStep::HitMeLookup { hit: h.is_some(), clean: h.map(|(_, c)| c) });
+            self.span_leaf_with::<TRACED, _>("hitme_lookup", "coherence", t_arrival, t_arrival, || match h {
+                Some((_, clean)) => format!("hit clean={clean}"),
+                None => "miss".to_string(),
+            });
             h
         } else {
             None
@@ -1166,8 +1570,13 @@ impl System {
         let plan = ha_read_arrival_plan(self.proto, hitme_hit, node, home, all);
 
         // Speculative memory read (directory bits piggyback on it).
-        let (dev_done, _outcome) = self.mem[ha.0 as usize].access(t_arrival, line, false);
+        let channel = self.mem[ha.0 as usize].channel_of(line);
+        let (dev_done, row_outcome) = self.mem[ha.0 as usize].access(t_arrival, line, false);
+        self.span_leaf_with::<TRACED, _>("dram_row", "mem", t_arrival, dev_done, || {
+            format!("{row_outcome:?} ch{channel}")
+        });
         let mut dram_done = dev_done + self.ns(self.cal.t_mem_ctl);
+        self.span_leaf::<TRACED>("mem_ctl", "mem", dev_done, dram_done);
 
         // Home-snoop-mode probes issued by the HA.
         let mut broadcast_snooped = false;
@@ -1176,12 +1585,18 @@ impl System {
             // delay models QPI-bound snoop broadcast arbitration only.
             let t_issue = t_arrival + self.ns(self.cal.t_home_snoop_issue);
             if plan.probe_home_ca {
-                let p = self.probe_peer(home, line, t_arrival, Endpoint::Ha(ha), core, ha);
+                let sp = self.span_begin::<TRACED>("snoop", "coherence", t_arrival);
+                let p = self.probe_peer::<TRACED>(home, line, t_arrival, Endpoint::Ha(ha), core, ha);
+                self.span_detail(sp, || format!("node{}", home.0));
+                self.span_end(sp, p.resp_at_ha);
                 probes.push(p);
             }
             for peer in plan.snoops.iter() {
                 broadcast_snooped = true;
-                let p = self.probe_peer(peer, line, t_issue, Endpoint::Ha(ha), core, ha);
+                let sp = self.span_begin::<TRACED>("snoop", "coherence", t_issue);
+                let p = self.probe_peer::<TRACED>(peer, line, t_issue, Endpoint::Ha(ha), core, ha);
+                self.span_detail(sp, || format!("node{}", peer.0));
+                self.span_end(sp, p.resp_at_ha);
                 probes.push(p);
             }
         }
@@ -1199,10 +1614,15 @@ impl System {
             // traversal. The state consumed below is the healed read.
             if self.faults.take_dir_glitch() {
                 self.recovery.dir_retries += 1;
+                let before = dram_done;
                 dram_done += self.ns(self.cal.t_mem_ctl);
+                self.span_leaf::<TRACED>("dir_ecc_reread", "mem", before, dram_done);
                 self.log(dram_done, ProtoStep::DirectoryRetry);
             }
             self.log(dram_done, ProtoStep::DirectoryRead { state: dir_prev });
+            self.span_leaf_with::<TRACED, _>("dir_read", "coherence", dram_done, dram_done, || {
+                format!("{dir_prev:?}")
+            });
             let dplan = ha_read_dir_plan(dir_prev, node, home, all);
             memory_reply_ok = dplan.memory_reply_ok;
             if !dplan.snoops.is_empty() {
@@ -1212,7 +1632,10 @@ impl System {
                     // Broadcast can only start once the directory (with the
                     // data) has been read.
                     let t_issue = dram_done + self.ns(self.cal.t_home_snoop_issue);
-                    let p = self.probe_peer(peer, line, t_issue, Endpoint::Ha(ha), core, ha);
+                    let sp = self.span_begin::<TRACED>("snoop", "coherence", t_issue);
+                    let p = self.probe_peer::<TRACED>(peer, line, t_issue, Endpoint::Ha(ha), core, ha);
+                    self.span_detail(sp, || format!("node{}", peer.0));
+                    self.span_end(sp, p.resp_at_ha);
                     probes.push(p);
                 }
             }
@@ -1241,9 +1664,10 @@ impl System {
                 } else {
                     dram_done.max(last_resp)
                 };
-                let done = self
-                    .send(t_mem_ready, Endpoint::Ha(ha), Endpoint::Core(core), self.cal.msg_data)
-                    + self.ns(self.cal.t_fill);
+                let t_sent =
+                    self.send::<TRACED>(t_mem_ready, Endpoint::Ha(ha), Endpoint::Core(core), self.cal.msg_data);
+                let done = t_sent + self.ns(self.cal.t_fill);
+                self.span_leaf::<TRACED>("fill", "core", t_sent, done);
                 if copies_remain {
                     self.stats.remote_dram_fwd += 1;
                 }
@@ -1255,6 +1679,7 @@ impl System {
         // Tracker slot held until the HA is done with the transaction.
         let ha_done = done.max(last_resp).max(dram_done);
         self.trackers[ha.0 as usize][remote_req as usize].occupy_until(ha_done);
+        self.span_end(ha_span, ha_done);
 
         // --- state updates ---
         // Sharers may exist beyond what the probes saw: a shared-clean
@@ -1290,6 +1715,12 @@ impl System {
                     nodes.insert(home);
                     self.hitme[ha.0 as usize]
                         .allocate(line, HitMeEntry { nodes, clean: true });
+                    // AllocateShared: the entry is born clean, so a later
+                    // read at the home agent can answer from memory
+                    // without a broadcast (the Fig. 7 latency dip).
+                    self.span_leaf_with::<TRACED, _>("hitme_allocate_shared", "coherence", done, done, || {
+                        format!("requester=node{} home=node{}", node.0, home.0)
+                    });
                     hitme_live = true;
                 } else if hitme_hit.is_some() {
                     // An Exclusive grant can be upgraded to Modified
@@ -1334,11 +1765,19 @@ impl System {
         t: SimTime,
     ) -> Result<AccessOutcome, SimError> {
         self.begin_walk();
-        let res = self.write_walk(core, line, t);
-        self.end_walk(core, line, t, res)
+        if self.trace_armed() {
+            self.walk_span_open("write", t);
+            let res = self.write_walk::<true>(core, line, t);
+            let res = self.end_walk(core, line, t, res);
+            self.walk_span_close(t, &res);
+            res
+        } else {
+            let res = self.write_walk::<false>(core, line, t);
+            self.end_walk(core, line, t, res)
+        }
     }
 
-    fn write_walk(
+    fn write_walk<const TRACED: bool>(
         &mut self,
         core: CoreId,
         line: LineAddr,
@@ -1365,10 +1804,10 @@ impl System {
         }
         // Shared hit or miss: needs ownership via the CA.
         self.stats.rfos += 1;
-        self.rfo_via_ca(core, line, t)
+        self.rfo_via_ca::<TRACED>(core, line, t)
     }
 
-    fn rfo_via_ca(
+    fn rfo_via_ca<const TRACED: bool>(
         &mut self,
         core: CoreId,
         line: LineAddr,
@@ -1378,18 +1817,18 @@ impl System {
         let local = self.topo.node_local_core(core);
         let slice = self.topo.slice_for_line(line, node);
         let t_req = t + self.ns(self.cal.t_miss_path);
-        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+        let t_at_ca = self.send::<TRACED>(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
 
         let meta_snapshot = self.l3[slice.0 as usize].access(line).map(|m| *m);
         match ca_local_action(ReqType::Rfo, meta_snapshot.as_ref(), local) {
             CaAction::RfoHitOwned { invalidate_cv } => {
                 let mut t_ready = t_at_ca + self.ns(self.cal.t_l3_array);
                 if invalidate_cv != 0 {
-                    t_ready = self.invalidate_local_cores(node, line, invalidate_cv, t_at_ca, slice);
+                    t_ready = self.invalidate_local_cores::<TRACED>(node, line, invalidate_cv, t_at_ca, slice);
                 }
                 let t_data = self.l3_port[slice.0 as usize].transfer(t_ready, 64);
                 let done = self
-                    .send(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
+                    .send::<TRACED>(t_data, Endpoint::Slice(slice), Endpoint::Core(core), self.cal.msg_data)
                     + self.ns(self.cal.t_fill);
                 if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
                     meta.state = MesifState::Modified;
@@ -1401,11 +1840,11 @@ impl System {
             CaAction::UpgradeNeeded { invalidate_cv } => {
                 // Invalidate local sharers, then obtain global ownership.
                 let t_local = if invalidate_cv != 0 {
-                    self.invalidate_local_cores(node, line, invalidate_cv, t_at_ca, slice)
+                    self.invalidate_local_cores::<TRACED>(node, line, invalidate_cv, t_at_ca, slice)
                 } else {
                     t_at_ca + self.ns(self.cal.t_l3_tag)
                 };
-                let done = self.global_invalidate(core, line, t_local, slice, node, false);
+                let done = self.global_invalidate::<TRACED>(core, line, t_local, slice, node, false);
                 if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
                     meta.state = MesifState::Modified;
                     meta.cv = 1 << local;
@@ -1432,10 +1871,10 @@ impl System {
             }
             CaAction::Miss => {
                 // Full RFO: fetch data with ownership.
-                let out = self.node_miss_read(core, line, t_at_ca, slice, node, local);
+                let out = self.node_miss_read::<TRACED>(core, line, t_at_ca, slice, node, local);
                 // Convert the grant into ownership: invalidate any copies
                 // that survived the read portion.
-                let done = self.global_invalidate(core, line, out.done, slice, node, true);
+                let done = self.global_invalidate::<TRACED>(core, line, out.done, slice, node, true);
                 let meta_slice = self.topo.slice_for_line(line, node);
                 if let Some(meta) = self.l3[meta_slice.0 as usize].peek_mut(line) {
                     meta.state = MesifState::Modified;
@@ -1475,7 +1914,7 @@ impl System {
 
     /// Invalidate the given node-local core copies; returns when the last
     /// acknowledgment reaches the CA.
-    fn invalidate_local_cores(
+    fn invalidate_local_cores<const TRACED: bool>(
         &mut self,
         node: NodeId,
         line: LineAddr,
@@ -1489,16 +1928,17 @@ impl System {
             if cv & (1 << i) != 0 {
                 let c = self.topo.cores_of_node(node)[i];
                 self.stats.snoops_sent += 1;
-                let t_at = self.send(t, Endpoint::Slice(slice), Endpoint::Core(c), self.cal.msg_ctl);
+                let t_at = self.send::<TRACED>(t, Endpoint::Slice(slice), Endpoint::Core(c), self.cal.msg_ctl);
                 let ci = c.0 as usize;
                 self.l1[ci].remove(line);
                 self.l2[ci].remove(line);
-                let t_ack = self.send(
+                let t_ack = self.send::<TRACED>(
                     t_at + self.ns(self.cal.t_probe),
                     Endpoint::Core(c),
                     Endpoint::Slice(slice),
                     self.cal.msg_ctl,
                 );
+                self.span_leaf_with::<TRACED, _>("inv_core", "coherence", t_at, t_ack, || format!("core{}", c.0));
                 last = last.max(t_ack);
                 if let Some(meta) = self.l3[slice.0 as usize].peek_mut(line) {
                     meta.clear_core(i as u8);
@@ -1514,7 +1954,7 @@ impl System {
     /// `after_data`: the invalidations piggyback on an RFO whose data phase
     /// already ran; peers that forwarded have demoted and only Shared
     /// stragglers need killing.
-    fn global_invalidate(
+    fn global_invalidate<const TRACED: bool>(
         &mut self,
         core: CoreId,
         line: LineAddr,
@@ -1533,7 +1973,7 @@ impl System {
                 continue;
             }
             self.stats.snoops_sent += 1;
-            let t_at = self.send(t, Endpoint::Slice(slice), Endpoint::Slice(pslice), self.cal.msg_ctl);
+            let t_at = self.send::<TRACED>(t, Endpoint::Slice(slice), Endpoint::Slice(pslice), self.cal.msg_ctl);
             // Remove peer L3 + core copies.
             if let Some(meta) = self.l3[pslice.0 as usize].remove(line) {
                 let cores = self.topo.cores_of_node(peer);
@@ -1545,16 +1985,18 @@ impl System {
                 }
                 if meta.state.is_dirty() {
                     let ha = self.topo.ha_for_line(line);
-                    self.mem[ha.0 as usize].access(t_at, line, true);
+                    let (wb_done, _) = self.mem[ha.0 as usize].access(t_at, line, true);
+                    self.span_leaf::<TRACED>("dram_wb", "mem", t_at, wb_done);
                     self.stats.dram_writebacks += 1;
                 }
             }
-            let t_ack = self.send(
+            let t_ack = self.send::<TRACED>(
                 t_at + self.ns(self.cal.t_l3_tag),
                 Endpoint::Slice(pslice),
                 Endpoint::Slice(slice),
                 self.cal.msg_ctl,
             );
+            self.span_leaf_with::<TRACED, _>("inv_snoop", "coherence", t_at, t_ack, || format!("node{}", peer.0));
             last = last.max(t_ack);
         }
         let _ = core;
@@ -1569,6 +2011,19 @@ impl System {
     /// so streaming writes cost one DRAM transfer instead of two — the
     /// classic STREAM-benchmark optimization.
     pub fn write_nt(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> AccessOutcome {
+        if self.trace_armed() {
+            self.write_nt_impl::<true>(core, line, t)
+        } else {
+            self.write_nt_impl::<false>(core, line, t)
+        }
+    }
+
+    fn write_nt_impl<const TRACED: bool>(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        t: SimTime,
+    ) -> AccessOutcome {
         let ci = core.0 as usize;
         // Drop any local copies (an NT store to cached data invalidates it).
         self.l1[ci].remove(line);
@@ -1580,20 +2035,22 @@ impl System {
         if let Some(meta) = self.l3[slice.0 as usize].peek(line).copied() {
             let cv = meta.cv & !(1u32 << self.topo.node_local_core(core));
             if cv != 0 {
-                t_wc = self.invalidate_local_cores(node, line, cv, t_wc, slice);
+                t_wc = self.invalidate_local_cores::<TRACED>(node, line, cv, t_wc, slice);
             }
             self.l3[slice.0 as usize].remove(line);
         }
-        self.global_invalidate(core, line, t_wc, slice, node, false);
+        self.global_invalidate::<TRACED>(core, line, t_wc, slice, node, false);
         // The store retires once a write-combining buffer accepts the
         // data; the buffer is held until the line drains to the home
         // memory, which is the back-pressure that bounds NT bandwidth to
         // the DRAM drain rate.
         let t_accept = self.wc_buf[ci].wait_for_slot(t_wc);
+        self.span_leaf::<TRACED>("wc_drain", "mem", t_wc, t_accept);
         let ha = self.topo.ha_for_line(line);
-        let t_at_ha = self.send(t_accept, Endpoint::Core(core), Endpoint::Ha(ha), self.cal.msg_data);
+        let t_at_ha = self.send::<TRACED>(t_accept, Endpoint::Core(core), Endpoint::Ha(ha), self.cal.msg_data);
         let t_mem = t_at_ha + self.ns(self.cal.t_ha);
         let (drained, _) = self.mem[ha.0 as usize].access(t_mem, line, true);
+        self.span_leaf::<TRACED>("dram_row", "mem", t_mem, drained);
         self.wc_buf[ci].occupy_until(drained);
         self.stats.dram_writebacks += 1;
         if self.proto.directory {
@@ -1614,6 +2071,14 @@ impl System {
     /// cache in the system and write dirty data back to the home memory.
     /// Returns the completion time.
     pub fn flush(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> SimTime {
+        if self.trace_armed() {
+            self.flush_impl::<true>(core, line, t)
+        } else {
+            self.flush_impl::<false>(core, line, t)
+        }
+    }
+
+    fn flush_impl<const TRACED: bool>(&mut self, core: CoreId, line: LineAddr, t: SimTime) -> SimTime {
         let node = self.topo.node_of_core(core);
         let slice = self.topo.slice_for_line(line, node);
         let ci = core.0 as usize;
@@ -1621,7 +2086,7 @@ impl System {
             | matches!(self.l2[ci].remove(line), Some(CoreState::Modified));
 
         let t_req = t + self.ns(self.cal.t_miss_path);
-        let t_at_ca = self.send(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
+        let t_at_ca = self.send::<TRACED>(t_req, Endpoint::Core(core), Endpoint::Slice(slice), self.cal.msg_ctl);
         let local = self.topo.node_local_core(core);
 
         let mut t_done = t_at_ca + self.ns(self.cal.t_l3_tag);
@@ -1632,17 +2097,17 @@ impl System {
             if cv != 0 {
                 // Re-insert briefly so the helper can clear bits, then drop.
                 self.l3[slice.0 as usize].insert(line, meta);
-                t_done = self.invalidate_local_cores(node, line, cv, t_at_ca, slice);
+                t_done = self.invalidate_local_cores::<TRACED>(node, line, cv, t_at_ca, slice);
                 self.l3[slice.0 as usize].remove(line);
             }
             dirty |= meta.state.is_dirty();
         }
         // Kill copies in other nodes.
-        t_done = self.global_invalidate(core, line, t_done, slice, node, false);
+        t_done = self.global_invalidate::<TRACED>(core, line, t_done, slice, node, false);
 
         // Write back + directory reset at home.
         let ha = self.topo.ha_for_line(line);
-        let t_at_ha = self.send(t_done, Endpoint::Slice(slice), Endpoint::Ha(ha), self.cal.msg_ctl);
+        let t_at_ha = self.send::<TRACED>(t_done, Endpoint::Slice(slice), Endpoint::Ha(ha), self.cal.msg_ctl);
         let mut t_home_done = t_at_ha + self.ns(self.cal.t_ha);
         if dirty {
             let (dev_done, _) = self.mem[ha.0 as usize].access(t_home_done, line, true);
@@ -1653,7 +2118,7 @@ impl System {
             self.dir[ha.0 as usize].set(line, DirState::RemoteInvalid);
             self.hitme[ha.0 as usize].invalidate(line);
         }
-        self.send(t_home_done, Endpoint::Ha(ha), Endpoint::Core(core), self.cal.msg_ctl)
+        self.send::<TRACED>(t_home_done, Endpoint::Ha(ha), Endpoint::Core(core), self.cal.msg_ctl)
     }
 
     // ------------------------------------------------------------------
@@ -1822,5 +2287,16 @@ impl System {
             h = mix(h, (5u64 << 32) | hi as u64, &mut buf);
         }
         h
+    }
+}
+
+impl Drop for System {
+    /// Publish aggregate counters to the ambient metrics registry captured
+    /// at construction. Walks count during the simulation with zero
+    /// overhead (the counters already exist for `stats`); aggregation
+    /// happens exactly once, here or in an earlier explicit
+    /// [`flush_metrics`](System::flush_metrics) call.
+    fn drop(&mut self) {
+        self.flush_metrics();
     }
 }

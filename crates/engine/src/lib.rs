@@ -22,6 +22,10 @@
 //! * [`fsio`] — crash-consistent `atomic_write` (tmp + `rename`, optional
 //!   fsync) and the stable [`fnv1a64`] content digest used by campaign
 //!   journals and golden-outcome checks.
+//! * [`trace`] — structured span tracing: ring-buffered [`SpanRecorder`],
+//!   exact per-component latency attribution, Chrome trace-event export.
+//! * [`metrics`] — lock-free named counters/histograms with ambient
+//!   per-thread installation, aggregated per-job by campaign supervisors.
 //!
 //! The engine knows nothing about caches or coherence; it is a generic DES
 //! toolkit kept separate so its invariants can be tested in isolation.
@@ -29,17 +33,21 @@
 pub mod cancel;
 pub mod fsio;
 pub mod fxhash;
+pub mod metrics;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use cancel::CancelToken;
 pub use fsio::{atomic_write, fnv1a64, fnv1a64_extend};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
 pub use resource::{ThroughputResource, TimedPool, TokenPool};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime, PS_PER_NS};
+pub use trace::{EventSink, Span, SpanId, SpanRecorder, WalkRecord};

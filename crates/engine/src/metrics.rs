@@ -1,0 +1,273 @@
+//! Lock-free metrics registry with ambient per-thread installation.
+//!
+//! A [`MetricsRegistry`] holds named monotonic counters and log₂-binned
+//! histograms backed by [`AtomicU64`]s: registration takes a short lock,
+//! but every increment afterwards is a relaxed atomic add, so hot paths
+//! can hold on to the returned `Arc` and count without synchronization.
+//!
+//! Like [`crate::CancelToken`], a registry propagates *ambiently*: a
+//! supervisor installs one for the current worker thread with
+//! [`MetricsRegistry::set_ambient`] and any simulator constructed on that
+//! thread picks it up via [`MetricsRegistry::ambient`]. With no registry
+//! installed (the default, and the perf-bench configuration) the
+//! simulator pays a single `Option` check per walk.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ bins in an [`AtomicHistogram`].
+pub const HISTOGRAM_BINS: usize = 32;
+
+/// A lock-free histogram of `u64` samples, binned by `⌈log₂(v+1)⌉`
+/// (bin 0 holds zeros, bin 1 holds {1}, bin 2 holds {2,3}, …).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    bins: [AtomicU64; HISTOGRAM_BINS],
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram { bins: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Which bin `value` lands in.
+    pub fn bin_of(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BINS - 1)
+    }
+
+    /// Record one sample (relaxed atomic add).
+    pub fn record(&self, value: u64) {
+        self.bins[Self::bin_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bin counts.
+    pub fn snapshot(&self) -> [u64; HISTOGRAM_BINS] {
+        std::array::from_fn(|i| self.bins[i].load(Ordering::Relaxed))
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Named counters and histograms shared across threads (see module docs).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    histograms: Mutex<Vec<(String, Arc<AtomicHistogram>)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it (at zero) on first use.
+    /// Hold the returned handle for lock-free increments on hot paths.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut counters = self.counters.lock().unwrap();
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        counters.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// Add `delta` to counter `name` (registration lock + relaxed add;
+    /// fine off the hot path, e.g. in flush-on-drop aggregation).
+    pub fn add(&self, name: &str, delta: u64) {
+        if delta > 0 {
+            self.counter(name).fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        let mut histograms = self.histograms.lock().unwrap();
+        if let Some((_, h)) = histograms.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(AtomicHistogram::new());
+        histograms.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Record one sample into histogram `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// All counters, sorted by name. Zero-valued counters are included:
+    /// a registered metric that never fired is itself a signal.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All histograms (per-bin counts), sorted by name.
+    pub fn histograms_snapshot(&self) -> Vec<(String, [u64; HISTOGRAM_BINS])> {
+        let mut out: Vec<(String, [u64; HISTOGRAM_BINS])> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Deterministic JSON export (counters and trimmed histogram bins).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\": 1, \"counters\": {");
+        for (i, (name, v)) in self.counters_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {v}");
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, (name, bins)) in self.histograms_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let hi = bins.iter().rposition(|&b| b > 0).map_or(0, |p| p + 1);
+            let _ = write!(out, "\"{name}\": [");
+            for (j, b) in bins[..hi].iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push(']');
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Install `registry` as the ambient registry for the current thread,
+    /// returning a guard that restores the previous one when dropped.
+    pub fn set_ambient(registry: Arc<MetricsRegistry>) -> MetricsScope {
+        let prev = AMBIENT.with(|slot| slot.replace(Some(registry)));
+        MetricsScope { prev }
+    }
+
+    /// The ambient registry installed for the current thread, if any.
+    pub fn ambient() -> Option<Arc<MetricsRegistry>> {
+        AMBIENT.with(|slot| slot.borrow().clone())
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<Arc<MetricsRegistry>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously ambient registry on drop (RAII for
+/// [`MetricsRegistry::set_ambient`]).
+pub struct MetricsScope {
+    prev: Option<Arc<MetricsRegistry>>,
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        AMBIENT.with(|slot| *slot.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("walks");
+                    for _ in 0..1000 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counters_snapshot(), vec![("walks".to_string(), 4000)]);
+    }
+
+    #[test]
+    fn histogram_bins_are_log2() {
+        assert_eq!(AtomicHistogram::bin_of(0), 0);
+        assert_eq!(AtomicHistogram::bin_of(1), 1);
+        assert_eq!(AtomicHistogram::bin_of(2), 2);
+        assert_eq!(AtomicHistogram::bin_of(3), 2);
+        assert_eq!(AtomicHistogram::bin_of(4), 3);
+        assert_eq!(AtomicHistogram::bin_of(u64::MAX), HISTOGRAM_BINS - 1);
+        let h = AtomicHistogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.snapshot()[3], 2);
+    }
+
+    #[test]
+    fn ambient_scoping_restores_previous() {
+        assert!(MetricsRegistry::ambient().is_none());
+        let outer = Arc::new(MetricsRegistry::new());
+        {
+            let _g = MetricsRegistry::set_ambient(Arc::clone(&outer));
+            MetricsRegistry::ambient().unwrap().add("seen", 1);
+            {
+                let inner = Arc::new(MetricsRegistry::new());
+                let _g2 = MetricsRegistry::set_ambient(Arc::clone(&inner));
+                MetricsRegistry::ambient().unwrap().add("seen", 10);
+                assert_eq!(inner.counters_snapshot()[0].1, 10);
+            }
+            MetricsRegistry::ambient().unwrap().add("seen", 1);
+        }
+        assert!(MetricsRegistry::ambient().is_none());
+        assert_eq!(outer.counters_snapshot(), vec![("seen".to_string(), 2)]);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.add("b.second", 2);
+        reg.add("a.first", 1);
+        reg.record("fanout", 3);
+        let json = reg.to_json();
+        assert_eq!(
+            json,
+            "{\"schema\": 1, \"counters\": {\"a.first\": 1, \"b.second\": 2}, \
+             \"histograms\": {\"fanout\": [0, 0, 1]}}\n"
+        );
+    }
+
+    #[test]
+    fn zero_counters_stay_visible_once_registered() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("never_fired");
+        assert_eq!(reg.counters_snapshot(), vec![("never_fired".to_string(), 0)]);
+    }
+}

@@ -272,6 +272,22 @@ impl MemoryController {
         self.channels.iter().map(|c| c.total_bytes()).sum()
     }
 
+    /// Controller-wide counter totals, summed over channels:
+    /// `[reads, writes, row_hits, row_closed, row_conflicts, bytes]`.
+    /// One stable shape for metrics aggregation.
+    pub fn totals(&self) -> [u64; 6] {
+        let mut t = [0u64; 6];
+        for c in &self.channels {
+            t[0] += c.reads;
+            t[1] += c.writes;
+            t[2] += c.hits;
+            t[3] += c.closed;
+            t[4] += c.conflicts;
+            t[5] += c.total_bytes();
+        }
+        t
+    }
+
     /// Shared access to the underlying channels (stats, tests).
     pub fn channels(&self) -> &[DramChannel] {
         &self.channels

@@ -25,10 +25,11 @@
 
 use crate::plan::{FaultClass, FaultKind, FaultPlan};
 use hswx_coherence::{DirState, MesifState, NodeSet};
-use hswx_engine::{DetRng, SimTime};
-use hswx_haswell::{CoherenceMode, MonitorConfig, SimError, System, SystemConfig};
+use hswx_engine::{DetRng, MetricsRegistry, SimTime};
+use hswx_haswell::{CoherenceMode, MonitorConfig, RecoveryStats, SimError, System, SystemConfig};
 use hswx_mem::{CoreId, LineAddr, NodeId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Result of one campaign matrix cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +67,10 @@ pub struct CampaignReport {
     pub trials: u32,
     /// All matrix cells, class-major in [`FaultClass::ALL`] order.
     pub cells: Vec<MatrixCell>,
+    /// Recovery-event totals across every trial system (clean and
+    /// faulted), collected through the metrics registry the campaign
+    /// installs around its trials.
+    pub recovery: RecoveryStats,
 }
 
 impl CampaignReport {
@@ -146,6 +151,18 @@ impl CampaignReport {
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"trials\": {},\n", self.trials));
         out.push_str(&format!("  \"all_passed\": {},\n", self.all_detected()));
+        let r = &self.recovery;
+        out.push_str(&format!(
+            "  \"recovery\": {{\"crc_messages\": {}, \"crc_retries\": {}, \
+             \"link_failures\": {}, \"dir_retries\": {}, \"hitme_retries\": {}, \
+             \"poison_blocked\": {}}},\n",
+            r.crc_messages,
+            r.crc_retries,
+            r.link_failures,
+            r.dir_retries,
+            r.hitme_retries,
+            r.poison_blocked
+        ));
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
             let outcome = match &cell.outcome {
@@ -194,6 +211,21 @@ impl fmt::Display for CampaignReport {
             self.write_matrix(f, &heal)?;
         }
         writeln!(f)?;
+        let r = &self.recovery;
+        if r.total_events() > 0 {
+            writeln!(
+                f,
+                "recovery events across all trials: {} CRC retries over {} messages, \
+                 {} link failures, {} directory re-reads, {} HitME re-reads, \
+                 {} poisoned accesses blocked",
+                r.crc_retries,
+                r.crc_messages,
+                r.link_failures,
+                r.dir_retries,
+                r.hitme_retries,
+                r.poison_blocked
+            )?;
+        }
         if self.all_detected() {
             writeln!(f, "all injected faults detected or recovered")?;
         } else {
@@ -211,7 +243,15 @@ impl fmt::Display for CampaignReport {
 }
 
 /// Run `plan` across all three coherence modes and collect the matrix.
+///
+/// Every trial system flushes its counters (including the recovery
+/// taxonomy) into a metrics registry scoped to this call; the aggregate
+/// lands in [`CampaignReport::recovery`] and, if an ambient registry was
+/// already installed (e.g. by a campaign supervisor job), the counters
+/// are forwarded into it as well.
 pub fn run_campaign(plan: &FaultPlan) -> CampaignReport {
+    let reg = Arc::new(MetricsRegistry::new());
+    let scope = MetricsRegistry::set_ambient(Arc::clone(&reg));
     let mut cells = Vec::new();
     for &class in &plan.classes {
         for mode in CoherenceMode::all() {
@@ -241,7 +281,28 @@ pub fn run_campaign(plan: &FaultPlan) -> CampaignReport {
             });
         }
     }
-    CampaignReport { seed: plan.seed, trials: plan.trials, cells }
+    drop(scope);
+    let counters = reg.counters_snapshot();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let recovery = RecoveryStats {
+        crc_messages: get("recovery.crc_messages"),
+        crc_retries: get("recovery.crc_retries"),
+        link_failures: get("recovery.link_failures"),
+        dir_retries: get("recovery.dir_retries"),
+        hitme_retries: get("recovery.hitme_retries"),
+        poison_blocked: get("recovery.poison_blocked"),
+    };
+    if let Some(outer) = MetricsRegistry::ambient() {
+        for (name, v) in &counters {
+            outer.add(name, *v);
+        }
+    }
+    CampaignReport { seed: plan.seed, trials: plan.trials, cells, recovery }
 }
 
 /// One injection trial, routed by the class's verification strategy.
