@@ -26,6 +26,12 @@ fn print(section: &str, anchors: &[Anchor]) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("--all");
+    // An unknown selector used to print *nothing* and exit 0 — a silently
+    // empty calibration report. Reject it instead.
+    if !matches!(which, "--all" | "--latency" | "--bandwidth") {
+        eprintln!("error: unknown selector {which} (expected --latency, --bandwidth, or --all)");
+        std::process::exit(2);
+    }
     if which == "--latency" || which == "--all" {
         print("latency anchors (ns)", &latency_anchors());
     }

@@ -11,10 +11,18 @@ use hswx_haswell::report::Table;
 use hswx_workloads::{mpi2007_proxies, omp2012_proxies};
 
 fn main() {
-    let accesses = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4000usize);
+    // A typo'd count must not silently fall back to the default: that
+    // regenerates the figure with the wrong sampling and nobody notices.
+    let accesses = match std::env::args().nth(1) {
+        None => 4000usize,
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: bad accesses count {s:?} (usage: fig10 [ACCESSES])");
+                std::process::exit(2);
+            }
+        },
+    };
 
     let mut t = Table::new(
         "fig10",

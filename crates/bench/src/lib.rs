@@ -6,6 +6,7 @@
 //! measurements.
 
 pub mod anchors;
+pub mod checkpoint;
 pub mod jobs;
 pub mod parallel;
 pub mod perf;

@@ -27,6 +27,7 @@
 //! and journal entries are marked degraded, preferring a partial result
 //! over no result.
 
+use crate::checkpoint::CheckpointStore;
 use crate::jobs::{JobCtx, JobOutput, JobSpec};
 use crate::parallel::{panic_message, parallel_try_map};
 use hswx_engine::{atomic_write, fnv1a64, fnv1a64_extend, CancelToken, MetricsRegistry};
@@ -288,10 +289,19 @@ impl Supervisor {
         {
             std::thread::sleep(Duration::from_millis(ms));
         }
+        // Per-job checkpoint store: sweep points computed before a crash
+        // or kill survive under `<out_dir>/.ckpt-<job>` and are replayed
+        // bit-exactly on the rerun; `commit` discards the file once the
+        // journal holds the finished artifact.
+        let checkpoint = Arc::new(CheckpointStore::open(
+            self.cfg.out_dir.join(format!(".ckpt-{}", job.id)),
+            self.cfg.fsync,
+        ));
         let mut last_err = String::from("job never ran");
         for attempt in 0..self.cfg.max_attempts.max(1) {
             let seed = self.cfg.seed ^ (attempt as u64).wrapping_mul(RETRY_SEED_PERTURB);
-            let ctx = JobCtx { seed, degraded };
+            let ctx =
+                JobCtx { seed, degraded, checkpoint: Some(Arc::clone(&checkpoint)) };
             // The ambient token reaches every `System` the job constructs,
             // including inside nested parallel sweeps; a deadline overrun
             // turns the next walk into a typed Cancelled error. The
@@ -344,6 +354,9 @@ impl Supervisor {
         let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
         st.insert(job.id.to_string(), entry.clone());
         self.persist_journal(&st)?;
+        // The journal is now the durable record; the mid-job checkpoint
+        // has served its purpose.
+        let _ = std::fs::remove_file(self.cfg.out_dir.join(format!(".ckpt-{}", job.id)));
         Ok(entry)
     }
 
@@ -439,6 +452,18 @@ impl Supervisor {
                 text.push_str(&format!("# {name} {v}\n"));
             }
         }
+        // Exact reproduction recipe: the command, seed, reference-config
+        // digest, and snapshot schema version this campaign ran under.
+        // Comment-prefixed so one-line-per-artifact consumers are
+        // unaffected.
+        text.push_str(&format!(
+            "# reproduce: hswx campaign --seed {} --out <dir>  \
+             (config digest {:016x}, snapshot schema v{})\n",
+            self.cfg.seed,
+            hswx_haswell::SystemConfig::e5_2680_v3(hswx_haswell::CoherenceMode::SourceSnoop)
+                .digest(),
+            hswx_haswell::SYSTEM_SNAPSHOT_SCHEMA,
+        ));
         let path = self.cfg.out_dir.join("manifest.txt");
         atomic_write(&path, text.as_bytes(), self.cfg.fsync)
             .map_err(|e| format!("{}: {e}", path.display()))
@@ -753,6 +778,82 @@ mod tests {
         assert!(old.metrics.is_empty());
         assert!(parse_done_line("garbage line").is_none());
         assert!(parse_done_line("done only_id").is_none());
+    }
+
+    /// Sweep job that memoizes each point through the checkpoint store
+    /// and dies after the third fresh computation — a stand-in for a
+    /// campaign killed mid-sweep.
+    fn sweep_job(ctx: &JobCtx) -> JobOutput {
+        let ckpt = ctx.checkpoint.as_ref().expect("supervisor provides a store");
+        let mut body = String::new();
+        let mut fresh = 0;
+        for size in 0u64..8 {
+            let key = crate::checkpoint::CheckpointStore::key(&[b"sweep", &size.to_le_bytes()]);
+            let v = match ckpt.lookup(key) {
+                Some(v) => v,
+                None => {
+                    fresh += 1;
+                    if fresh > 3 && std::env::var("HSWX_TEST_SWEEP_DIES").is_ok() {
+                        panic!("killed mid-sweep");
+                    }
+                    let v = (size as f64).sqrt() + 0.125;
+                    ckpt.record(key, v);
+                    v
+                }
+            };
+            body.push_str(&format!("{size} {v:.17}\n"));
+        }
+        JobOutput { files: vec![("sweep.txt".into(), body)] }
+    }
+
+    #[test]
+    fn killed_sweep_resumes_from_checkpoint_byte_identically() {
+        // Reference: uninterrupted run.
+        let ref_dir = tmp_dir("ckpt-ref");
+        let jobs = [JobSpec { id: "sweep", deps: &[], run: sweep_job }];
+        assert!(Supervisor::new(cfg_for(&ref_dir)).run(&jobs).unwrap().ok());
+        let reference = std::fs::read(ref_dir.join("sweep.txt")).unwrap();
+
+        // Interrupted run: the job dies after 3 points on every attempt,
+        // so the campaign fails — but the checkpoint survives.
+        let dir = tmp_dir("ckpt-kill");
+        let mut cfg = cfg_for(&dir);
+        cfg.max_attempts = 1;
+        std::env::set_var("HSWX_TEST_SWEEP_DIES", "1");
+        let summary = Supervisor::new(cfg.clone()).run(&jobs).unwrap();
+        std::env::remove_var("HSWX_TEST_SWEEP_DIES");
+        assert_eq!(summary.failed.len(), 1, "{summary}");
+        let ckpt_path = dir.join(".ckpt-sweep");
+        assert!(ckpt_path.exists(), "checkpoint must survive the kill");
+        assert_eq!(
+            crate::checkpoint::CheckpointStore::open(ckpt_path.clone(), false).len(),
+            3
+        );
+
+        // Resume: remaining points compute, artifact bytes match the
+        // uninterrupted run, checkpoint is discarded after commit.
+        let summary = Supervisor::new(cfg).run(&jobs).unwrap();
+        assert!(summary.ok(), "{summary}");
+        assert_eq!(std::fs::read(dir.join("sweep.txt")).unwrap(), reference);
+        assert!(!ckpt_path.exists(), "commit discards the checkpoint");
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_carries_a_reproduce_line() {
+        let dir = tmp_dir("manifest");
+        let jobs = [JobSpec { id: "a", deps: &[], run: dep_job }];
+        assert!(Supervisor::new(cfg_for(&dir)).run(&jobs).unwrap().ok());
+        let manifest = std::fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        let line = manifest
+            .lines()
+            .find(|l| l.starts_with("# reproduce:"))
+            .unwrap_or_else(|| panic!("no reproduce line in {manifest}"));
+        assert!(line.contains("--seed"), "{line}");
+        assert!(line.contains("config digest"), "{line}");
+        assert!(line.contains("snapshot schema v"), "{line}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -39,6 +39,13 @@ USAGE:
                  [--tolerance PCT]
                  (host-throughput walk kernels vs the committed
                   BENCH_perf.json; exits nonzero on a regression)
+  hswx soak      [--budget 60s|1500ms|N] [--seed N] [--out DIR] [--report FILE]
+                 (randomized chaos soak: mixed walks + recoverable fault
+                  injection + mid-stream snapshot/restore round-trips +
+                  cancellation storms under the strict monitor for a
+                  wall-clock budget; exits nonzero on any violation or
+                  snapshot mismatch; --out keeps failing snapshot pairs,
+                  --report writes the JSON soak report)
   hswx trace     [latency flags] [--accesses N] [--out FILE]
                  (run a placed-state scenario with the span tracer armed:
                   writes Chrome/Perfetto trace-event JSON and prints a
@@ -55,6 +62,7 @@ EXAMPLES:
   hswx explain fig7 128
   hswx faultcheck --quick
   hswx campaign --out results --resume --metrics-json results/metrics.json
+  hswx soak --budget 60s --seed 7 --report soak.json
   hswx perfbench --quick";
 
 fn mode_of(flags: &Flags) -> Result<CoherenceMode, String> {
@@ -219,7 +227,10 @@ pub fn trace(argv: &[String]) -> Result<(), String> {
     for line in p.lines.iter().cycle().take(accesses) {
         t = p.sys.read(p.measurer, *line, t).done;
     }
-    let rec = p.sys.take_tracer().expect("tracer attached above");
+    let rec = p
+        .sys
+        .take_tracer()
+        .ok_or("internal: span tracer detached during the scenario")?;
     for w in rec.walks() {
         rec.validate_walk(w).map_err(|e| format!("internal: malformed span tree: {e}"))?;
     }
@@ -304,7 +315,10 @@ fn explain_fig7(argv: &[String]) -> Result<(), String> {
     let mut p = scenario.prepare();
     p.sys.attach_tracer(hswx_engine::SpanRecorder::with_capacity(1 << 14));
     let out = p.sys.read(p.measurer, p.lines[0], p.t);
-    let rec = p.sys.take_tracer().expect("tracer attached above");
+    let rec = p
+        .sys
+        .take_tracer()
+        .ok_or("internal: span tracer detached during the scenario")?;
     let walk = rec.last_walk().ok_or("no walk recorded")?;
     rec.validate_walk(&walk).map_err(|e| format!("internal: malformed span tree: {e}"))?;
     if let Some(path) = flags.map_get("out") {
@@ -593,12 +607,58 @@ fn write_campaign_trace(path: &std::path::Path) -> Result<(), String> {
     for line in p.lines.iter().take(4) {
         t = p.sys.read(p.measurer, *line, t).done;
     }
-    let rec = p.sys.take_tracer().expect("tracer attached above");
+    let rec = p
+        .sys
+        .take_tracer()
+        .ok_or("internal: span tracer detached during the scenario")?;
     let json = rec.chrome_json();
     hswx_engine::trace::validate_trace_json(&json)
         .map_err(|e| format!("internal: trace JSON failed validation: {e}"))?;
     hswx_engine::atomic_write(path, json.as_bytes(), false)
         .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parse a wall-clock budget: plain seconds (`90`), `60s`, or `1500ms`.
+fn budget_of(s: &str) -> Result<std::time::Duration, String> {
+    let (num, unit_ms) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1u64)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1000)
+    } else {
+        (s, 1000)
+    };
+    let n: u64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad --budget {s} (expected e.g. 90, 60s, or 1500ms)"))?;
+    Ok(std::time::Duration::from_millis(n.saturating_mul(unit_ms)))
+}
+
+/// `hswx soak` — randomized chaos soak under a wall-clock budget: mixed
+/// walk campaigns with recoverable fault injection, mid-stream
+/// snapshot/restore round-trips (in memory and through files), and
+/// cancellation storms, all under the strict invariant monitor. Exits
+/// nonzero on any monitor violation or snapshot mismatch.
+pub fn soak(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let budget = budget_of(flags.get("budget", "30s"))?;
+    let cfg = hswx_verify::SoakConfig {
+        budget,
+        seed: flags.get_parse("seed", 0xC0FFEEu64)?,
+        out_dir: flags.map_get("out").map(std::path::PathBuf::from),
+    };
+    let report = hswx_verify::run_soak(&cfg);
+    print!("{report}");
+    if let Some(path) = flags.map_get("report") {
+        hswx_engine::atomic_write(std::path::Path::new(path), report.to_json().as_bytes(), false)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("soak report written to {path}");
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err("chaos soak found violations or snapshot mismatches (report above)".into())
+    }
 }
 
 /// `hswx perfbench` — measure simulator host throughput on the fixed walk

@@ -12,6 +12,7 @@
 //! hswx apps      [--accesses N]
 //! hswx faultcheck [--quick] [--json FILE]
 //! hswx campaign  [--resume] [--time-budget-ms N] [--jobs a,b,..]
+//! hswx soak      [--budget 60s] [--seed N] [--out DIR] [--report FILE]
 //! hswx perfbench [--quick] [--baseline FILE] [--write-baseline]
 //! ```
 //!
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         "apps" => cmds::apps(rest),
         "faultcheck" => cmds::faultcheck(rest),
         "campaign" => cmds::campaign(rest),
+        "soak" => cmds::soak(rest),
         "perfbench" => cmds::perfbench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);

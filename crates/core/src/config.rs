@@ -9,6 +9,112 @@ use hswx_coherence::ProtocolConfig;
 use hswx_mem::{CacheGeometry, DdrTimings, Replacement};
 use hswx_topology::DieVariant;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Upper bound on total modelled cache lines (all levels × all cores).
+///
+/// 2^23 lines ≈ 512 MiB of modelled capacity — more than 2.5× the largest
+/// real configuration (quad-socket 18-core), but small enough that a
+/// hostile or corrupted config cannot ask the host for gigabytes of
+/// tag/state arrays before the first access runs.
+pub const MAX_MODEL_LINES: u64 = 1 << 23;
+
+/// Upper bound on HitME directory-cache entries per home agent (the real
+/// organization has 1792; ablations sweep it, but 2^20 entries = 64 MiB of
+/// modelled SRAM is far past any plausible study).
+pub const MAX_HITME_ENTRIES: u32 = 1 << 20;
+
+/// Upper bound on DRAM banks per channel.
+pub const MAX_DRAM_BANKS: u32 = 1 << 16;
+
+/// A [`SystemConfig`] field (or combination) that the simulator cannot
+/// model. Returned by [`SystemConfig::validate`] and
+/// [`crate::System::try_new`] instead of panicking mid-construction, so
+/// callers that build configs from untrusted input (campaign manifests,
+/// snapshots, fuzzers) get a diagnosable error naming the offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Socket count outside the modelled fully-connected 2–4 range.
+    Sockets {
+        /// The rejected socket count.
+        got: u8,
+    },
+    /// A cache geometry is degenerate (zero ways, capacity below one set).
+    CacheGeometry {
+        /// Which cache: `"l1"`, `"l2"`, or `"l3_slice"`.
+        cache: &'static str,
+        /// The rejected capacity.
+        size_bytes: u64,
+        /// The rejected associativity.
+        ways: u32,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Total modelled lines across all caches and cores exceed
+    /// [`MAX_MODEL_LINES`].
+    ModelCapacity {
+        /// Lines the config asks for.
+        total_lines: u64,
+    },
+    /// A DRAM timing/shape field is out of range.
+    Dram {
+        /// The offending [`DdrTimings`] field.
+        field: &'static str,
+        /// Its value (integer fields are widened).
+        value: f64,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A calibration constant failed [`Calib::validate`].
+    Calib {
+        /// The offending [`Calib`] field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// HitME directory-cache entry count out of range.
+    HitMe {
+        /// The rejected entry count.
+        entries: u32,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Sockets { got } => write!(
+                f,
+                "sockets: {got} is outside the modelled 2..=4 \
+                 fully-connected QPI range"
+            ),
+            ConfigError::CacheGeometry { cache, size_bytes, ways, reason } => write!(
+                f,
+                "{cache}: geometry {{ size_bytes: {size_bytes}, ways: {ways} }} \
+                 rejected: {reason}"
+            ),
+            ConfigError::ModelCapacity { total_lines } => write!(
+                f,
+                "cache geometries: {total_lines} total modelled lines exceed \
+                 the {MAX_MODEL_LINES}-line model cap"
+            ),
+            ConfigError::Dram { field, value, reason } => {
+                write!(f, "dram.{field}: {value} rejected: {reason}")
+            }
+            ConfigError::Calib { field, value } => write!(
+                f,
+                "calib.{field}: {value} is not a finite value in the \
+                 field's legal range"
+            ),
+            ConfigError::HitMe { entries, reason } => {
+                write!(f, "hitme_entries: {entries} rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The three coherence configurations of the paper's test system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -140,6 +246,97 @@ impl SystemConfig {
     /// DDR channels per home agent (4 per socket / 2 HAs).
     pub fn channels_per_ha(&self) -> u32 {
         2
+    }
+
+    /// Check every field against the simulator's modelled ranges.
+    ///
+    /// [`crate::System::try_new`] calls this before allocating anything, so
+    /// a config from an untrusted source (manifest, snapshot, fuzzer)
+    /// either produces a working system or a [`ConfigError`] naming the
+    /// offending field — never a panic, a divide-by-zero, or a
+    /// multi-gigabyte allocation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(2..=4).contains(&self.sockets) {
+            return Err(ConfigError::Sockets { got: self.sockets });
+        }
+        let mut lines_per_core = 0u64;
+        for (cache, g) in [("l1", self.l1), ("l2", self.l2), ("l3_slice", self.l3_slice)] {
+            let reject = |reason| ConfigError::CacheGeometry {
+                cache,
+                size_bytes: g.size_bytes,
+                ways: g.ways,
+                reason,
+            };
+            if g.ways == 0 {
+                return Err(reject("zero ways divides by zero in set indexing"));
+            }
+            // Recompute sets without CacheGeometry::sets() so a degenerate
+            // geometry cannot panic before we report it.
+            let sets = g.size_bytes / (64 * g.ways as u64);
+            if sets == 0 {
+                return Err(reject("capacity below one full set"));
+            }
+            lines_per_core = lines_per_core.saturating_add(sets.saturating_mul(g.ways as u64));
+        }
+        let total_lines = lines_per_core.saturating_mul(self.n_cores() as u64);
+        if total_lines > MAX_MODEL_LINES {
+            return Err(ConfigError::ModelCapacity { total_lines });
+        }
+        let d = &self.dram;
+        for (field, value) in [
+            ("t_cas", d.t_cas),
+            ("t_rcd", d.t_rcd),
+            ("t_rp", d.t_rp),
+            ("t_burst", d.t_burst),
+            ("t_wr", d.t_wr),
+            ("t_refi", d.t_refi),
+            ("t_rfc", d.t_rfc),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::Dram {
+                    field,
+                    value,
+                    reason: "timings must be finite and non-negative",
+                });
+            }
+        }
+        if !d.bus_gb_s.is_finite() || d.bus_gb_s <= 0.0 {
+            return Err(ConfigError::Dram {
+                field: "bus_gb_s",
+                value: d.bus_gb_s,
+                reason: "bus rate must be finite and strictly positive",
+            });
+        }
+        if d.banks == 0 || d.banks > MAX_DRAM_BANKS {
+            return Err(ConfigError::Dram {
+                field: "banks",
+                value: d.banks as f64,
+                reason: "banks per channel must be in 1..=65536",
+            });
+        }
+        if d.row_bytes < 64 {
+            return Err(ConfigError::Dram {
+                field: "row_bytes",
+                value: d.row_bytes as f64,
+                reason: "a row must hold at least one 64-byte line",
+            });
+        }
+        self.calib
+            .validate()
+            .map_err(|(field, value)| ConfigError::Calib { field, value })?;
+        if self.hitme_entries < 8 {
+            return Err(ConfigError::HitMe {
+                entries: self.hitme_entries,
+                reason: "fewer entries than one 8-way set",
+            });
+        }
+        if self.hitme_entries > MAX_HITME_ENTRIES {
+            return Err(ConfigError::HitMe {
+                entries: self.hitme_entries,
+                reason: "above the 2^20-entry model cap",
+            });
+        }
+        Ok(())
     }
 }
 

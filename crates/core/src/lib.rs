@@ -17,7 +17,10 @@
 //! ```
 //!
 //! Modules:
-//! * [`config`] / [`calib`] — system description and component timing.
+//! * [`config`] / [`calib`] — system description (with a validated,
+//!   panic-free construction boundary) and component timing.
+//! * [`snapshot`] — deterministic, bit-transparent full-system
+//!   snapshot/restore on the `hswx-engine` binary frame codec.
 //! * [`analytic`] — closed-form latency formulas used as differential
 //!   checks against the simulator.
 //! * [`system`] — the simulated machine and its transaction walks.
@@ -38,13 +41,15 @@ pub mod microbench;
 pub mod monitor;
 pub mod placement;
 pub mod report;
+pub mod snapshot;
 pub mod spec;
 pub mod system;
 
 pub use calib::Calib;
-pub use config::{CoherenceMode, SystemConfig};
+pub use config::{CoherenceMode, ConfigError, SystemConfig};
 pub use error::SimError;
 pub use inject::RecoveryStats;
 pub use monitor::{MonitorConfig, Violation};
+pub use snapshot::SYSTEM_SNAPSHOT_SCHEMA;
 pub use placement::{PlacedState, Placement};
 pub use system::{AccessOutcome, ProtoStep, Stats, System};

@@ -14,7 +14,7 @@
 //! component from [`crate::calib::Calib`].
 
 use crate::calib::Calib;
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::error::SimError;
 use crate::inject::{FaultState, RecoveryStats};
 use crate::monitor::{self, MonitorConfig, Violation};
@@ -191,19 +191,19 @@ pub struct System {
     pub(crate) l3: Vec<SetAssocCache<L3Meta>>,
     pub(crate) dir: Vec<InMemoryDirectory>,
     pub(crate) hitme: Vec<HitMeCache>,
-    mem: Vec<MemoryController>,
+    pub(crate) mem: Vec<MemoryController>,
     /// QPI link resources, one per ordered socket pair
     /// (index = from_socket * n_sockets + to_socket; diagonal unused).
     /// Sockets are fully connected, as in glueless 4-socket Xeon E5 systems.
-    qpi: Vec<ThroughputResource>,
-    l3_port: Vec<ThroughputResource>,
+    pub(crate) qpi: Vec<ThroughputResource>,
+    pub(crate) l3_port: Vec<ThroughputResource>,
     /// Per-HA tracker pools: [local-socket requesters, remote-socket].
-    trackers: Vec<[TimedPool; 2]>,
+    pub(crate) trackers: Vec<[TimedPool; 2]>,
     /// Per-core snoop-responder availability (serializes forwards out of a
     /// single probed core — the paper's 7.8/10.6 GB/s core-to-core limits).
-    fwd_busy: Vec<SimTime>,
+    pub(crate) fwd_busy: Vec<SimTime>,
     /// Per-core write-combining buffers (back-pressure for NT stores).
-    wc_buf: Vec<TimedPool>,
+    pub(crate) wc_buf: Vec<TimedPool>,
     /// Armed transcript collector (see [`System::trace_next`]).
     trace_log: Option<Vec<(SimTime, ProtoStep)>>,
     /// Recycled transcript storage: monitor-armed walks move this buffer
@@ -218,9 +218,9 @@ pub struct System {
     /// success, attached to the error on failure).
     auto_trace: bool,
     /// Runtime invariant monitor; `None` (the default) costs nothing.
-    monitor: Option<MonitorConfig>,
+    pub(crate) monitor: Option<MonitorConfig>,
     /// Completed read/write transactions (drives the periodic scan).
-    txn_count: u64,
+    pub(crate) txn_count: u64,
     /// Protocol messages sent by the walk in flight.
     walk_steps: u32,
     /// Pending injected message faults (see [`crate::inject`]).
@@ -244,10 +244,10 @@ pub struct System {
     /// `hswx_engine::metrics`); `None` outside supervised runs.
     metrics: Option<std::sync::Arc<MetricsRegistry>>,
     /// `stats.snoops_sent` at walk start (snoop fan-out accounting).
-    walk_snoop_base: u64,
+    pub(crate) walk_snoop_base: u64,
     /// Per-walk snoop fan-out tallies (index 8 = "8 or more"); local and
     /// unsynchronized, published to the registry when the system drops.
-    fanout_bins: [u64; 9],
+    pub(crate) fanout_bins: [u64; 9],
 
     /// Event counters.
     pub stats: Stats,
@@ -258,11 +258,25 @@ pub struct System {
 
 impl System {
     /// Build an idle system from `cfg`.
+    ///
+    /// Panics (with the [`ConfigError`] diagnostic) if `cfg` fails
+    /// [`SystemConfig::validate`]; code handling untrusted configs should
+    /// call [`System::try_new`] instead.
     pub fn new(cfg: SystemConfig) -> Self {
-        assert!(
-            (2..=4).contains(&cfg.sockets),
-            "the QPI model covers 2-4 fully-connected sockets"
-        );
+        match Self::try_new(cfg) {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid SystemConfig: {e}"),
+        }
+    }
+
+    /// Build an idle system from `cfg`, validating every field first.
+    ///
+    /// This is the hardened construction boundary: no `SystemConfig` value
+    /// — however hostile — panics here, divides by zero, or allocates
+    /// beyond the model caps; it either builds or returns a field-level
+    /// [`ConfigError`].
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let topo = SystemTopology::new(cfg.sockets, cfg.die, cfg.mode.cod());
         let n_cores = cfg.n_cores() as usize;
         let n_has = cfg.n_has() as usize;
@@ -284,7 +298,7 @@ impl System {
                 SnoopMode::Home => cal.trackers_other,
             }
         } as usize;
-        System {
+        Ok(System {
             topo,
             proto,
             cal,
@@ -296,8 +310,10 @@ impl System {
             dir: (0..n_has).map(|_| InMemoryDirectory::new()).collect(),
             hitme: (0..n_has)
                 .map(|_| {
+                    // validate() guarantees >= 8 entries (one full set), so
+                    // no clamp is needed here.
                     HitMeCache::with_geometry(hswx_mem::CacheGeometry {
-                        size_bytes: cfg.hitme_entries.max(8) as u64 * 64,
+                        size_bytes: cfg.hitme_entries as u64 * 64,
                         ways: 8,
                     })
                 })
@@ -343,7 +359,7 @@ impl System {
             stats: Stats::default(),
             recovery: RecoveryStats::default(),
             cfg,
-        }
+        })
     }
 
     /// Enable the runtime invariant monitor with `cfg`. While enabled,

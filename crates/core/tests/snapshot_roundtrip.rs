@@ -1,0 +1,120 @@
+//! Property: snapshot/restore is bit-transparent for *any* reachable
+//! machine state — random configurations × random walk prefixes.
+//!
+//! After restoring a mid-run snapshot, the twin must report the same
+//! `state_digest()`, re-encode to the byte-identical frame, and produce
+//! outcome-for-outcome identical continuations of any access sequence,
+//! including under recoverable fault injection.
+
+use hswx_engine::SimTime;
+use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (
+        prop_oneof![
+            Just(CoherenceMode::SourceSnoop),
+            Just(CoherenceMode::HomeSnoop),
+            Just(CoherenceMode::ClusterOnDie),
+        ],
+        2u8..=3,
+        prop_oneof![Just(8u32), Just(64), Just(1792)],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(mode, sockets, hitme_entries, hitme_enabled, prefetch)| {
+            SystemConfig {
+                sockets,
+                hitme_entries,
+                hitme_enabled,
+                prefetch,
+                ..SystemConfig::e5_8core(mode)
+            }
+        })
+}
+
+/// Replay `ops` on `sys` starting at `t`, returning the finish time.
+/// Each op is (core selector, line selector, write?).
+fn run(sys: &mut System, t: SimTime, ops: &[(u16, u64, bool)]) -> SimTime {
+    let cores = sys.cfg.n_cores();
+    let mut t = t;
+    for &(c, l, w) in ops {
+        let core = CoreId(c % cores);
+        let line = LineAddr(l % 2048);
+        let out = if w {
+            sys.write(core, line, t)
+        } else {
+            sys.read(core, line, t)
+        };
+        t = out.done;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn restore_continues_any_walk_sequence_bit_identically(
+        cfg in config_strategy(),
+        prefix in proptest::collection::vec(
+            (any::<u16>(), any::<u64>(), any::<bool>()), 0..120),
+        suffix in proptest::collection::vec(
+            (any::<u16>(), any::<u64>(), any::<bool>()), 1..120),
+    ) {
+        let mut sys = System::new(cfg);
+        let t = run(&mut sys, SimTime::ZERO, &prefix);
+
+        let frame = sys.snapshot();
+        let mut twin = System::restore(&frame).expect("restore");
+        prop_assert_eq!(twin.state_digest(), sys.state_digest());
+        prop_assert_eq!(twin.snapshot(), frame.clone());
+
+        let cores = sys.cfg.n_cores();
+        let mut ta = t;
+        let mut tb = t;
+        for &(c, l, w) in &suffix {
+            let core = CoreId(c % cores);
+            let line = LineAddr(l % 2048);
+            let (a, b) = if w {
+                (sys.write(core, line, ta), twin.write(core, line, tb))
+            } else {
+                (sys.read(core, line, ta), twin.read(core, line, tb))
+            };
+            prop_assert_eq!(a, b);
+            ta = a.done;
+            tb = b.done;
+        }
+        prop_assert_eq!(twin.state_digest(), sys.state_digest());
+        prop_assert_eq!(twin.snapshot(), sys.snapshot());
+    }
+
+    /// Pending recoverable faults are part of the state: a snapshot taken
+    /// with injected-but-unconsumed faults replays them identically.
+    #[test]
+    fn pending_faults_replay_identically(
+        prefix in proptest::collection::vec(
+            (any::<u16>(), any::<u64>(), any::<bool>()), 0..60),
+        suffix in proptest::collection::vec(
+            (any::<u16>(), any::<u64>(), any::<bool>()), 1..60),
+        crc in 0u32..4,
+        glitches in 0u32..3,
+    ) {
+        let cfg = SystemConfig::e5_8core(CoherenceMode::ClusterOnDie);
+        let mut sys = System::new(cfg);
+        let t = run(&mut sys, SimTime::ZERO, &prefix);
+        sys.inject_qpi_crc(crc);
+        sys.inject_dir_glitch(glitches);
+        sys.inject_hitme_glitch(glitches);
+
+        let frame = sys.snapshot();
+        let mut twin = System::restore(&frame).expect("restore");
+        let ta = run(&mut sys, t, &suffix);
+        let tb = run(&mut twin, t, &suffix);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(twin.state_digest(), sys.state_digest());
+        prop_assert_eq!(sys.recovery, twin.recovery);
+        prop_assert_eq!(twin.snapshot(), sys.snapshot());
+    }
+}

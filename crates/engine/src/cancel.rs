@@ -158,6 +158,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_budget_cancels_immediately_without_waiting() {
+        // The deadline is `now + 0`, and the monotonic clock never runs
+        // backwards, so the very first eager check must latch — no sleep.
+        assert!(CancelToken::with_deadline(Duration::ZERO).is_cancelled());
+    }
+
+    #[test]
+    fn negative_remaining_budget_saturates_to_zero_and_cancels() {
+        // Supervisors compute `remaining = budget - elapsed`; past the
+        // deadline that subtraction saturates to zero (Duration cannot go
+        // negative) and the resulting token must already be cancelled.
+        let remaining = Duration::from_millis(5).saturating_sub(Duration::from_secs(1));
+        assert_eq!(remaining, Duration::ZERO);
+        assert!(CancelToken::with_deadline(remaining).is_cancelled());
+    }
+
+    #[test]
     fn should_abort_strides_deadline_checks() {
         let t = CancelToken::with_deadline(Duration::from_millis(0));
         std::thread::sleep(Duration::from_millis(1));

@@ -22,6 +22,9 @@
 //! * [`fsio`] — crash-consistent `atomic_write` (tmp + `rename`, optional
 //!   fsync) and the stable [`fnv1a64`] content digest used by campaign
 //!   journals and golden-outcome checks.
+//! * [`snapshot`] — versioned, digest-framed binary snapshot codec
+//!   ([`SnapWriter`]/[`SnapReader`] + whole-or-absent snapshot files) that
+//!   full-state simulator snapshots and mid-job checkpoints build on.
 //! * [`trace`] — structured span tracing: ring-buffered [`SpanRecorder`],
 //!   exact per-component latency attribution, Chrome trace-event export.
 //! * [`metrics`] — lock-free named counters/histograms with ambient
@@ -37,6 +40,7 @@ pub mod metrics;
 pub mod queue;
 pub mod resource;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -48,6 +52,7 @@ pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
 pub use resource::{ThroughputResource, TimedPool, TokenPool};
 pub use rng::DetRng;
+pub use snapshot::{SnapReader, SnapWriter, SnapshotError};
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime, PS_PER_NS};
 pub use trace::{EventSink, Span, SpanId, SpanRecorder, WalkRecord};

@@ -20,6 +20,7 @@
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
+use hswx_engine::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Victim-selection policy.
@@ -352,6 +353,97 @@ impl<S> SetAssocCache<S> {
         }
         self.len = 0;
         out
+    }
+
+    /// Encode the complete mutable state — occupancy, tags, LRU ticks,
+    /// PLRU bits, the replacement RNG stream, and every payload (packed to
+    /// a `u64` by `enc`) — into `w`, in deterministic set-major slot order.
+    ///
+    /// Together with [`decode_snapshot`](Self::decode_snapshot) this is
+    /// bit-transparent: a restored cache makes identical residency,
+    /// promotion, and victim decisions forever after, including the
+    /// Random policy's xorshift draws.
+    pub fn encode_snapshot(&self, w: &mut SnapWriter, mut enc: impl FnMut(&S) -> u64) {
+        w.u64(self.n_sets as u64);
+        w.u64(self.ways as u64);
+        w.u64(self.tick);
+        w.u64(self.rng_state);
+        for s in 0..self.n_sets {
+            let base = s * self.ways;
+            let occ = self.occ[s] as usize;
+            w.u32(self.plru[s]);
+            w.u16(self.occ[s]);
+            for idx in base..base + occ {
+                w.u64(self.tags[idx]);
+                w.u64(self.lru[idx]);
+                w.u64(enc(self.states[idx].as_ref().expect("occupied slot")));
+            }
+        }
+    }
+
+    /// Overwrite this cache's state from a snapshot produced by
+    /// [`encode_snapshot`](Self::encode_snapshot) on a cache of identical
+    /// geometry. `dec` unpacks each payload word; returning `None` rejects
+    /// the word as corrupt. Geometry mismatches and over-full sets are
+    /// rejected rather than trusted.
+    pub fn decode_snapshot(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut dec: impl FnMut(u64) -> Option<S>,
+    ) -> Result<(), SnapshotError> {
+        let n_sets = r.u64()?;
+        let ways = r.u64()?;
+        if n_sets != self.n_sets as u64 || ways != self.ways as u64 {
+            return Err(SnapshotError::Corrupt {
+                what: "cache geometry",
+                detail: format!(
+                    "snapshot is {n_sets} sets x {ways} ways, target is {} x {}",
+                    self.n_sets, self.ways
+                ),
+            });
+        }
+        let tick = r.u64()?;
+        let rng_state = r.u64()?;
+        // Decode into scratch first so a corrupt frame leaves `self` intact.
+        let slots = self.n_sets * self.ways;
+        let mut tags = vec![0u64; slots];
+        let mut lru = vec![0u64; slots];
+        let mut states: Vec<Option<S>> = Vec::new();
+        states.resize_with(slots, || None);
+        let mut occ = vec![0u16; self.n_sets];
+        let mut plru = vec![0u32; self.n_sets];
+        let mut len = 0usize;
+        for s in 0..self.n_sets {
+            plru[s] = r.u32()?;
+            let set_occ = r.u16()?;
+            if set_occ as usize > self.ways {
+                return Err(SnapshotError::Corrupt {
+                    what: "cache set occupancy",
+                    detail: format!("set {s} claims {set_occ} of {} ways", self.ways),
+                });
+            }
+            occ[s] = set_occ;
+            let base = s * self.ways;
+            for idx in base..base + set_occ as usize {
+                tags[idx] = r.u64()?;
+                lru[idx] = r.u64()?;
+                let word = r.u64()?;
+                states[idx] = Some(dec(word).ok_or_else(|| SnapshotError::Corrupt {
+                    what: "cache payload",
+                    detail: format!("payload word {word:#x} does not decode"),
+                })?);
+                len += 1;
+            }
+        }
+        self.tags = tags;
+        self.lru = lru;
+        self.states = states;
+        self.occ = occ;
+        self.plru = plru;
+        self.tick = tick;
+        self.rng_state = rng_state;
+        self.len = len;
+        Ok(())
     }
 
     /// Remove resident lines for which `pred` returns true, returning them.
@@ -757,6 +849,51 @@ mod tests {
         let all = c.drain_all();
         assert_eq!(all.len(), 6);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_bit_transparent() {
+        for policy in [Replacement::Lru, Replacement::TreePlru, Replacement::Random] {
+            let geom = CacheGeometry::new(8 * 64, 2);
+            let mut a: SetAssocCache<u32> = SetAssocCache::with_policy(geom, policy);
+            for i in 0..40u64 {
+                a.insert(LineAddr(i % 13), i as u32);
+                a.access(LineAddr(i % 7));
+            }
+            let mut w = SnapWriter::new(1);
+            a.encode_snapshot(&mut w, |&v| v as u64);
+            let frame = w.finish();
+            let mut b: SetAssocCache<u32> = SetAssocCache::with_policy(geom, policy);
+            let mut r = SnapReader::open_expecting(&frame, 1).unwrap();
+            b.decode_snapshot(&mut r, |v| u32::try_from(v).ok()).unwrap();
+            r.expect_end().unwrap();
+            // The restored cache must continue bit-identically: same
+            // evictions, same promotions, same Random draws.
+            for i in 40..160u64 {
+                assert_eq!(
+                    a.insert(LineAddr(i % 13), i as u32),
+                    b.insert(LineAddr(i % 13), i as u32),
+                    "{policy:?} diverged at insert {i}"
+                );
+                assert_eq!(
+                    a.access(LineAddr(i % 7)).map(|s| *s),
+                    b.access(LineAddr(i % 7)).map(|s| *s),
+                    "{policy:?} diverged at access {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_geometry_mismatch_rejected() {
+        let a: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::new(8 * 64, 2));
+        let mut w = SnapWriter::new(1);
+        a.encode_snapshot(&mut w, |&v| v as u64);
+        let frame = w.finish();
+        let mut b: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::new(16 * 64, 4));
+        let mut r = SnapReader::open_expecting(&frame, 1).unwrap();
+        let err = b.decode_snapshot(&mut r, |v| u32::try_from(v).ok()).unwrap_err();
+        assert!(err.to_string().contains("geometry"), "{err}");
     }
 
     #[test]
