@@ -7,6 +7,7 @@
 
 pub mod anchors;
 pub mod checkpoint;
+pub mod diffcmp;
 pub mod jobs;
 pub mod parallel;
 pub mod perf;

@@ -63,12 +63,16 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    // Carry the caller's ambient cancellation token and metrics registry
-    // into the workers, so a supervisor watchdog installed around this
-    // sweep reaches the simulators the jobs construct on pool threads,
-    // and their counters drain into the caller's registry.
+    // Carry the caller's ambient cancellation token, metrics registry,
+    // and telemetry hub into the workers, so a supervisor watchdog
+    // installed around this sweep reaches the simulators the jobs
+    // construct on pool threads, their counters drain into the caller's
+    // registry, and their time-series samples land in the caller's hub
+    // (the hub's merge is order-independent, so concurrent drains from
+    // many workers still produce a deterministic series).
     let ambient = hswx_engine::CancelToken::ambient();
     let metrics = hswx_engine::MetricsRegistry::ambient();
+    let telemetry = hswx_engine::TelemetryHub::ambient();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -76,6 +80,8 @@ where
                 let _cancel_scope = ambient.clone().map(hswx_engine::CancelToken::set_ambient);
                 let _metrics_scope =
                     metrics.clone().map(hswx_engine::MetricsRegistry::set_ambient);
+                let _telemetry_scope =
+                    telemetry.clone().map(hswx_engine::TelemetryHub::set_ambient);
                 // Claim jobs with a bare fetch-add; buffer outcomes
                 // locally and take the shared locks exactly once.
                 let mut local: Vec<(usize, R)> = Vec::new();
@@ -175,6 +181,27 @@ mod tests {
         });
         assert_eq!(lats.len(), 3);
         assert!(lats.iter().all(|&l| l > 50.0));
+    }
+
+    #[test]
+    fn ambient_telemetry_hub_reaches_pool_threads() {
+        use hswx_engine::{SimTime, TelemetryConfig, TelemetryHub};
+        use std::sync::Arc;
+        let hub = Arc::new(TelemetryHub::new(TelemetryConfig::default()));
+        let _scope = TelemetryHub::set_ambient(Arc::clone(&hub));
+        let jobs: Vec<u64> = (0..32).collect();
+        parallel_map(jobs, |&j| {
+            // Each worker samples into whatever hub it sees ambiently —
+            // exactly what the simulator's telemetry taps do.
+            let hub = TelemetryHub::ambient().expect("hub propagated to worker");
+            let mut s = hub.sampler();
+            s.record("test.jobs", SimTime::ZERO, 1);
+            s.record("test.value", SimTime::ZERO, j);
+            hub.absorb(s);
+        });
+        let merged = hub.collect();
+        assert_eq!(merged.channel_total("test.jobs"), 32);
+        assert_eq!(merged.channel_total("test.value"), (0..32).sum::<u64>());
     }
 
     #[test]

@@ -299,6 +299,90 @@ impl PerfReport {
     }
 }
 
+/// Convert days since the Unix epoch to a civil `(year, month, day)`
+/// (Gregorian; the standard era-based algorithm, exact for all dates).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+/// UTC calendar date (`YYYY-MM-DD`) of a Unix timestamp in seconds.
+pub fn utc_date(epoch_secs: u64) -> String {
+    let (y, m, d) = civil_from_days((epoch_secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// The commit this run measured: `GITHUB_SHA` when CI exports it,
+/// `git rev-parse HEAD` otherwise, `"unknown"` outside a checkout.
+pub fn current_git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.trim().is_empty() {
+            return sha.trim().to_string();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One `BENCH_history.jsonl` line: a dated, git-sha-stamped snapshot of
+/// the run's kernel throughputs (and figure wall times, when measured).
+/// Appending one of these per `hswx perfbench` run turns the point-in-time
+/// regression gate into a queryable performance history.
+pub fn history_line(report: &PerfReport, epoch_secs: u64, git_sha: &str) -> String {
+    let mut s = format!(
+        "{{\"date\": \"{}\", \"git_sha\": \"{}\", \"mode\": \"{}\", \"kernels\": {{",
+        utc_date(epoch_secs),
+        git_sha,
+        if report.quick { "quick" } else { "full" },
+    );
+    for (i, k) in report.kernels.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{}\": {:.1}{}",
+            k.name,
+            k.walks_per_sec,
+            if i + 1 < report.kernels.len() { ", " } else { "" }
+        ));
+    }
+    s.push_str("}, \"figures\": {");
+    for (i, f) in report.figures.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{}\": {:.3}{}",
+            f.name,
+            f.wall_s,
+            if i + 1 < report.figures.len() { ", " } else { "" }
+        ));
+    }
+    s.push_str("}}\n");
+    s
+}
+
+/// Append a history line to `path`, creating the file when missing.
+pub fn append_history(
+    path: &std::path::Path,
+    report: &PerfReport,
+    epoch_secs: u64,
+    git_sha: &str,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(history_line(report, epoch_secs, git_sha).as_bytes())
+}
+
 /// Extract `(name, walks_per_sec)` pairs from a `BENCH_perf.json` written
 /// by [`PerfReport::to_json`]. Returns an empty list on malformed input.
 pub fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -403,6 +487,43 @@ mod tests {
         let r = tiny_report();
         let baseline = vec![("unrelated".to_string(), 1.0)];
         assert!(compare(&r, &baseline, 0.30).is_ok());
+    }
+
+    #[test]
+    fn utc_date_is_exact() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(86_399), "1970-01-01");
+        assert_eq!(utc_date(86_400), "1970-01-02");
+        // 2000-02-29 00:00:00 UTC (leap day across a century boundary).
+        assert_eq!(utc_date(951_782_400), "2000-02-29");
+        // 2026-08-08 12:00:00 UTC.
+        assert_eq!(utc_date(1_786_190_400), "2026-08-08");
+    }
+
+    #[test]
+    fn history_line_is_one_json_object_per_run() {
+        let line = history_line(&tiny_report(), 951_782_400, "abc123");
+        assert_eq!(
+            line,
+            "{\"date\": \"2000-02-29\", \"git_sha\": \"abc123\", \"mode\": \"quick\", \
+             \"kernels\": {\"l1_hit_walk\": 20.0, \"mem_walk\": 5.0}, \
+             \"figures\": {\"fig4\": 12.000}}\n"
+        );
+        assert_eq!(line.matches('\n').count(), 1, "must stay one JSONL line");
+    }
+
+    #[test]
+    fn append_history_creates_and_grows_the_file() {
+        let dir = std::env::temp_dir().join(format!("hswx-perfhist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_history(&path, &tiny_report(), 0, "aaa").unwrap();
+        append_history(&path, &tiny_report(), 86_400, "bbb").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().nth(1).unwrap().contains("\"git_sha\": \"bbb\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,7 +30,10 @@
 use crate::checkpoint::CheckpointStore;
 use crate::jobs::{JobCtx, JobOutput, JobSpec};
 use crate::parallel::{panic_message, parallel_try_map};
-use hswx_engine::{atomic_write, fnv1a64, fnv1a64_extend, CancelToken, MetricsRegistry};
+use hswx_engine::{
+    atomic_write, fnv1a64, fnv1a64_extend, CancelToken, Heartbeat, MetricsRegistry, TelemetryHub,
+    TelemetrySampler,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -67,6 +70,12 @@ pub struct SupervisorConfig {
     /// Force degraded mode from the start (deterministic shedding, used
     /// by smoke runs and tests).
     pub force_degraded: bool,
+    /// Sample simulated-time telemetry during every job (an ambient
+    /// [`TelemetryHub`] per attempt). Per-channel totals land in the
+    /// journal and manifest; the merged series is available from
+    /// [`CampaignSummary::telemetry_merged`]. Off by default: sampling is
+    /// proven transparent, but the armed walk path is not free.
+    pub telemetry: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -81,6 +90,7 @@ impl Default for SupervisorConfig {
             job_deadline: None,
             time_budget: None,
             force_degraded: false,
+            telemetry: false,
         }
     }
 }
@@ -101,6 +111,9 @@ pub struct JournalEntry {
     /// HitME, directory, DRAM, QPI, and recovery counters here. Not part
     /// of the artifact digest — metrics describe the run, not the result.
     pub metrics: Vec<(String, u64)>,
+    /// Per-channel telemetry totals (sorted by name), present when the
+    /// campaign sampled telemetry. Like `metrics`, not digested.
+    pub telemetry: Vec<(String, u64)>,
 }
 
 /// Per-job outcome in the final summary.
@@ -113,6 +126,10 @@ pub struct JobReport {
     /// True when the job was skipped because the journal already had a
     /// verified entry for it.
     pub resumed: bool,
+    /// Full simulated-time series the job's attempt sampled (jobs run
+    /// this invocation with telemetry on; journal-resumed jobs keep only
+    /// the totals in their entry).
+    pub sampler: Option<TelemetrySampler>,
 }
 
 /// Full campaign outcome.
@@ -139,6 +156,35 @@ impl CampaignSummary {
             }
         }
         totals.into_iter().map(|(n, v)| (n.to_string(), v)).collect()
+    }
+
+    /// Campaign-wide telemetry channel totals, summed over every
+    /// completed job (persisted in the journal, so resumed jobs count).
+    pub fn telemetry_totals(&self) -> Vec<(String, u64)> {
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for r in &self.completed {
+            for (name, v) in &r.entry.telemetry {
+                *totals.entry(name).or_insert(0) += v;
+            }
+        }
+        totals.into_iter().map(|(n, v)| (n.to_string(), v)).collect()
+    }
+
+    /// The merged simulated-time series over every job that actually ran
+    /// (and sampled) this invocation, or `None` when nothing sampled.
+    /// Job sims all start at simulated time zero, so the merge is an
+    /// aggregate activity profile; the merge order does not matter.
+    pub fn telemetry_merged(&self) -> Option<TelemetrySampler> {
+        let mut merged: Option<TelemetrySampler> = None;
+        for r in &self.completed {
+            if let Some(s) = &r.sampler {
+                match &mut merged {
+                    Some(m) => m.merge(s.clone()),
+                    None => merged = Some(s.clone()),
+                }
+            }
+        }
+        merged
     }
 }
 
@@ -222,10 +268,33 @@ impl Supervisor {
         let state = Mutex::new(resumed.clone());
         let mut summary = CampaignSummary::default();
         for (id, entry) in &resumed {
-            summary.completed.push(JobReport { id: id.clone(), entry: entry.clone(), resumed: true });
+            summary.completed.push(JobReport {
+                id: id.clone(),
+                entry: entry.clone(),
+                resumed: true,
+                sampler: None,
+            });
         }
         let mut pending: Vec<&JobSpec> =
             jobs.iter().filter(|j| !resumed.contains_key(j.id)).collect();
+
+        // Live progress for `hswx top`: rewritten (atomically) on every
+        // job state change, so a tailing dashboard never sees a torn
+        // frame and a crashed campaign leaves its last true state behind.
+        let hb_path = cfg.out_dir.join("heartbeat.txt");
+        let heartbeat = Mutex::new({
+            let mut hb = Heartbeat::start("campaign", jobs.len() as u64);
+            hb.done = resumed.len() as u64;
+            hb
+        });
+        let beat = |update: &mut dyn FnMut(&mut Heartbeat)| {
+            let mut hb = heartbeat.lock().unwrap_or_else(|e| e.into_inner());
+            hb.elapsed_ms = start.elapsed().as_millis() as u64;
+            update(&mut hb);
+            hb.update_eta();
+            let _ = hb.write(&hb_path);
+        };
+        beat(&mut |_| {});
 
         while !pending.is_empty() {
             let done_ids: Vec<String> =
@@ -243,16 +312,36 @@ impl Supervisor {
             let (results, panics) = parallel_try_map(ready.clone(), |job| {
                 let degraded = cfg.force_degraded
                     || cfg.time_budget.is_some_and(|b| start.elapsed() > b);
-                let (output, attempts, metrics) = self.attempt(job, degraded)?;
-                let entry = self.commit(job, &output, attempts, degraded, metrics, &state)?;
-                Ok::<(JournalEntry, bool), String>((entry, degraded))
+                beat(&mut |hb| hb.inflight += 1);
+                let attempt_result = self.attempt(job, degraded);
+                let (output, attempts, metrics, sampler) = match attempt_result {
+                    Ok(r) => r,
+                    Err(e) => {
+                        beat(&mut |hb| {
+                            hb.inflight = hb.inflight.saturating_sub(1);
+                            hb.failed += 1;
+                        });
+                        return Err(e);
+                    }
+                };
+                let entry =
+                    self.commit(job, &output, attempts, degraded, metrics, &sampler, &state)?;
+                beat(&mut |hb| {
+                    hb.inflight = hb.inflight.saturating_sub(1);
+                    hb.done += 1;
+                    hb.retries += (attempts - 1) as u64;
+                    add_totals(&mut hb.metrics, &entry.metrics);
+                });
+                Ok::<(JournalEntry, bool, Option<TelemetrySampler>), String>((
+                    entry, degraded, sampler,
+                ))
             });
             for (i, res) in results.into_iter().enumerate() {
                 let id = ready[i].id.to_string();
                 match res {
-                    Some(Ok((entry, degraded))) => {
+                    Some(Ok((entry, degraded, sampler))) => {
                         summary.degraded |= degraded;
-                        summary.completed.push(JobReport { id, entry, resumed: false });
+                        summary.completed.push(JobReport { id, entry, resumed: false, sampler });
                     }
                     Some(Err(e)) => summary.failed.push((id, e)),
                     // A panic escaping `attempt`'s own catch_unwind means
@@ -270,6 +359,12 @@ impl Supervisor {
         }
         summary.blocked = pending.iter().map(|j| j.id.to_string()).collect();
         self.write_manifest(&state.lock().unwrap_or_else(|e| e.into_inner()))?;
+        beat(&mut |hb| {
+            hb.inflight = 0;
+            hb.failed = summary.failed.len() as u64;
+            hb.status =
+                if summary.ok() { "done".to_string() } else { "failed".to_string() };
+        });
         Ok(summary)
     }
 
@@ -281,7 +376,7 @@ impl Supervisor {
         &self,
         job: &JobSpec,
         degraded: bool,
-    ) -> Result<(JobOutput, u32, Vec<(String, u64)>), String> {
+    ) -> Result<(JobOutput, u32, Vec<(String, u64)>, Option<TelemetrySampler>), String> {
         // Test knob: widen the window between job start and commit so
         // kill-and-resume tests can reliably interrupt a live campaign.
         if let Some(ms) =
@@ -313,11 +408,21 @@ impl Supervisor {
             });
             let registry = Arc::new(MetricsRegistry::new());
             let _metrics = MetricsRegistry::set_ambient(Arc::clone(&registry));
+            // Telemetry rides the same ambient pattern: every simulator
+            // the job builds samples into a fresh per-attempt hub, so a
+            // failed attempt's partial series is discarded with it.
+            let hub = self
+                .cfg
+                .telemetry
+                .then(|| Arc::new(TelemetryHub::default()));
+            let _telemetry = hub.as_ref().map(|h| TelemetryHub::set_ambient(Arc::clone(h)));
             let t0 = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| (job.run)(&ctx))) {
                 Ok(out) => {
                     registry.record("job.wall_ms", t0.elapsed().as_millis() as u64);
-                    return Ok((out, attempt + 1, registry.counters_snapshot()));
+                    let sampler =
+                        hub.map(|h| h.collect()).filter(|s| !s.is_empty());
+                    return Ok((out, attempt + 1, registry.counters_snapshot(), sampler));
                 }
                 Err(payload) => last_err = panic_message(payload),
             }
@@ -330,6 +435,7 @@ impl Supervisor {
     }
 
     /// Atomically persist a finished job's artifacts and journal entry.
+    #[allow(clippy::too_many_arguments)]
     fn commit(
         &self,
         job: &JobSpec,
@@ -337,6 +443,7 @@ impl Supervisor {
         attempts: u32,
         degraded: bool,
         metrics: Vec<(String, u64)>,
+        sampler: &Option<TelemetrySampler>,
         state: &Mutex<BTreeMap<String, JournalEntry>>,
     ) -> Result<JournalEntry, String> {
         for (name, body) in &output.files {
@@ -344,12 +451,22 @@ impl Supervisor {
             atomic_write(&path, body.as_bytes(), self.cfg.fsync)
                 .map_err(|e| format!("{}: {e}", path.display()))?;
         }
+        let telemetry = sampler.as_ref().map_or_else(Vec::new, |s| {
+            let mut totals: Vec<(String, u64)> = s
+                .channel_names()
+                .iter()
+                .map(|n| (n.to_string(), s.channel_total(n)))
+                .collect();
+            totals.sort();
+            totals
+        });
         let entry = JournalEntry {
             digest: digest_output(output),
             attempts,
             degraded,
             files: output.files.iter().map(|(n, _)| n.clone()).collect(),
             metrics,
+            telemetry,
         };
         let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
         st.insert(job.id.to_string(), entry.clone());
@@ -364,12 +481,13 @@ impl Supervisor {
         let mut text = format!("{JOURNAL_MAGIC} seed={}\n", self.cfg.seed);
         for (id, e) in entries {
             text.push_str(&format!(
-                "done {id} digest={:016x} attempts={} degraded={} files={}{}\n",
+                "done {id} digest={:016x} attempts={} degraded={} files={}{}{}\n",
                 e.digest,
                 e.attempts,
                 e.degraded as u8,
                 e.files.join(","),
-                render_metrics(&e.metrics),
+                render_totals("metrics", &e.metrics),
+                render_totals("telemetry", &e.telemetry),
             ));
         }
         atomic_write(&self.cfg.journal, text.as_bytes(), self.cfg.fsync)
@@ -452,6 +570,18 @@ impl Supervisor {
                 text.push_str(&format!("# {name} {v}\n"));
             }
         }
+        let mut telemetry: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in entries.values() {
+            for (name, v) in &e.telemetry {
+                *telemetry.entry(name).or_insert(0) += v;
+            }
+        }
+        if !telemetry.is_empty() {
+            text.push_str("# telemetry (per-channel totals, summed over jobs)\n");
+            for (name, v) in &telemetry {
+                text.push_str(&format!("# {name} {v}\n"));
+            }
+        }
         // Exact reproduction recipe: the command, seed, reference-config
         // digest, and snapshot schema version this campaign ran under.
         // Comment-prefixed so one-line-per-artifact consumers are
@@ -482,15 +612,36 @@ fn digest_output(output: &JobOutput) -> u64 {
     h
 }
 
-/// Render a counter snapshot as a ` metrics=name:value,...` journal
-/// suffix (empty string when there are no counters). Counter names never
-/// contain whitespace, commas, or colons, so the encoding is unambiguous.
-fn render_metrics(metrics: &[(String, u64)]) -> String {
-    if metrics.is_empty() {
+/// Render a named-total snapshot as a ` <key>=name:value,...` journal
+/// suffix (empty string when there are no pairs). Names never contain
+/// whitespace, commas, or colons, so the encoding is unambiguous.
+fn render_totals(key: &str, pairs: &[(String, u64)]) -> String {
+    if pairs.is_empty() {
         return String::new();
     }
-    let body: Vec<String> = metrics.iter().map(|(n, v)| format!("{n}:{v}")).collect();
-    format!(" metrics={}", body.join(","))
+    let body: Vec<String> = pairs.iter().map(|(n, v)| format!("{n}:{v}")).collect();
+    format!(" {key}={}", body.join(","))
+}
+
+/// Parse the value side of a ` <key>=name:value,...` suffix. Malformed
+/// pairs are dropped rather than failing the whole line.
+fn parse_totals(v: &str) -> Vec<(String, u64)> {
+    v.split(',')
+        .filter_map(|pair| {
+            let (n, val) = pair.split_once(':')?;
+            Some((n.to_string(), val.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Fold `add` into `totals` (both sorted by name), keeping the sort.
+fn add_totals(totals: &mut Vec<(String, u64)>, add: &[(String, u64)]) {
+    for (name, v) in add {
+        match totals.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => totals[i].1 += v,
+            Err(i) => totals.insert(i, (name.clone(), *v)),
+        }
+    }
 }
 
 fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
@@ -504,6 +655,7 @@ fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
     let mut degraded = None;
     let mut files = None;
     let mut metrics = Vec::new();
+    let mut telemetry = Vec::new();
     for kv in parts {
         let (k, v) = kv.split_once('=')?;
         match k {
@@ -511,17 +663,10 @@ fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
             "attempts" => attempts = v.parse().ok(),
             "degraded" => degraded = Some(v == "1"),
             "files" => files = Some(v.split(',').map(str::to_string).collect()),
-            "metrics" => {
-                // Absent in pre-metrics journals; malformed pairs are
-                // dropped rather than failing the whole line.
-                metrics = v
-                    .split(',')
-                    .filter_map(|pair| {
-                        let (n, val) = pair.split_once(':')?;
-                        Some((n.to_string(), val.parse().ok()?))
-                    })
-                    .collect();
-            }
+            // Both absent in older journals; malformed pairs are dropped
+            // rather than failing the whole line.
+            "metrics" => metrics = parse_totals(v),
+            "telemetry" => telemetry = parse_totals(v),
             _ => {} // forward compatibility: ignore unknown keys
         }
     }
@@ -533,6 +678,7 @@ fn parse_done_line(line: &str) -> Option<(String, JournalEntry)> {
             degraded: degraded?,
             files: files?,
             metrics,
+            telemetry,
         },
     ))
 }
@@ -762,12 +908,14 @@ mod tests {
             degraded: true,
             files: vec!["x.txt".into(), "x.csv".into()],
             metrics: vec![("snoop.sent".into(), 42), ("sys.walks".into(), 7)],
+            telemetry: vec![("qpi.bytes".into(), 640), ("ring.busy_ps".into(), 9000)],
         };
         let line = format!(
-            "done myjob digest={:016x} attempts={} degraded=1 files=x.txt,x.csv{}",
+            "done myjob digest={:016x} attempts={} degraded=1 files=x.txt,x.csv{}{}",
             entry.digest,
             entry.attempts,
-            render_metrics(&entry.metrics),
+            render_totals("metrics", &entry.metrics),
+            render_totals("telemetry", &entry.telemetry),
         );
         let (id, parsed) = parse_done_line(&line).unwrap();
         assert_eq!(id, "myjob");
@@ -854,6 +1002,109 @@ mod tests {
         assert!(line.contains("config digest"), "{line}");
         assert!(line.contains("snapshot schema v"), "{line}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Drives a small simulator so ambient telemetry has something to see.
+    fn sim_job(_ctx: &JobCtx) -> JobOutput {
+        let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+        let mut t = SimTime::ZERO;
+        for i in 0..64u64 {
+            let out = sys.read(CoreId(0), LineAddr(i % 32), t);
+            t = out.done;
+        }
+        JobOutput { files: vec![("sim.txt".into(), format!("{}\n", sys.stats.snoops_sent))] }
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn telemetry_flows_into_journal_manifest_and_summary() {
+        let dir = tmp_dir("telemetry");
+        let mut cfg = cfg_for(&dir);
+        cfg.telemetry = true;
+        let jobs = [JobSpec { id: "sim", deps: &[], run: sim_job }];
+        let summary = Supervisor::new(cfg.clone()).run(&jobs).unwrap();
+        assert!(summary.ok(), "{summary}");
+        let report = summary.completed[0].clone();
+        assert!(report.sampler.is_some(), "job ran with telemetry but sampled nothing");
+        assert!(!report.entry.telemetry.is_empty());
+        let totals = summary.telemetry_totals();
+        assert!(totals.iter().any(|(n, v)| n == "ring.busy_ps" && *v > 0), "{totals:?}");
+        let merged = summary.telemetry_merged().unwrap();
+        let entry_ring =
+            report.entry.telemetry.iter().find(|(n, _)| n == "ring.busy_ps").unwrap().1;
+        assert_eq!(merged.channel_total("ring.busy_ps"), entry_ring);
+
+        // The journal persists the totals, so resume keeps them (but not
+        // the full series — only jobs that ran this invocation carry one).
+        let journal = std::fs::read_to_string(&cfg.journal).unwrap();
+        assert!(journal.contains(" telemetry="), "{journal}");
+        cfg.resume = true;
+        let resumed = Supervisor::new(cfg).run(&jobs).unwrap();
+        assert!(resumed.completed[0].resumed);
+        assert_eq!(resumed.completed[0].entry.telemetry, report.entry.telemetry);
+        assert!(resumed.telemetry_merged().is_none());
+        let manifest = std::fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        assert!(manifest.contains("# telemetry"), "{manifest}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_off_leaves_journal_and_reports_clean() {
+        let dir = tmp_dir("telemetry-off");
+        let jobs = [JobSpec { id: "sim", deps: &[], run: sim_job }];
+        let summary = Supervisor::new(cfg_for(&dir)).run(&jobs).unwrap();
+        assert!(summary.ok(), "{summary}");
+        assert!(summary.completed[0].sampler.is_none());
+        assert!(summary.completed[0].entry.telemetry.is_empty());
+        assert!(summary.telemetry_merged().is_none());
+        let journal = std::fs::read_to_string(dir.join("campaign.journal")).unwrap();
+        assert!(!journal.contains("telemetry="), "{journal}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_reaches_done_with_accurate_counts() {
+        let dir = tmp_dir("heartbeat");
+        let jobs = [
+            JobSpec { id: "sim", deps: &[], run: sim_job },
+            JobSpec { id: "flaky", deps: &[], run: flaky_job },
+        ];
+        let summary = Supervisor::new(cfg_for(&dir)).run(&jobs).unwrap();
+        assert!(summary.ok(), "{summary}");
+        let hb = Heartbeat::read(&dir.join("heartbeat.txt")).unwrap().unwrap();
+        assert_eq!(hb.kind, "campaign");
+        assert_eq!(hb.status, "done");
+        assert_eq!((hb.total, hb.done, hb.failed, hb.inflight), (2, 2, 0, 0));
+        assert_eq!(hb.retries, 1, "flaky's extra attempt should count as a retry");
+        // sim_job's simulator drained its counters ambiently; the beat
+        // folded them into the heartbeat totals.
+        assert!(hb.metrics.iter().any(|(n, v)| n == "sys.walks" && *v > 0), "{:?}", hb.metrics);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_reports_failure_status() {
+        let dir = tmp_dir("heartbeat-fail");
+        let mut cfg = cfg_for(&dir);
+        cfg.max_attempts = 1;
+        let jobs = [JobSpec { id: "bad", deps: &[], run: always_panics }];
+        let summary = Supervisor::new(cfg).run(&jobs).unwrap();
+        assert!(!summary.ok());
+        let hb = Heartbeat::read(&dir.join("heartbeat.txt")).unwrap().unwrap();
+        assert_eq!(hb.status, "failed");
+        assert_eq!((hb.done, hb.failed), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn add_totals_merges_sorted_snapshots() {
+        let mut totals = vec![("b".to_string(), 2u64)];
+        add_totals(&mut totals, &[("a".to_string(), 1), ("b".to_string(), 3)]);
+        add_totals(&mut totals, &[("c".to_string(), 9)]);
+        assert_eq!(
+            totals,
+            vec![("a".to_string(), 1), ("b".to_string(), 5), ("c".to_string(), 9)]
+        );
     }
 
     #[test]

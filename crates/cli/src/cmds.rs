@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Flags;
-use hswx_engine::SimTime;
+use hswx_engine::{Heartbeat, SimTime};
 use hswx_verify::{run_campaign, FaultPlan};
 use hswx_haswell::microbench::{
     pointer_chase, stream_read, stream_write, stream_write_nt, Buffer, LoadWidth,
@@ -31,15 +31,21 @@ USAGE:
   hswx campaign  [--out DIR] [--journal FILE] [--resume] [--fsync] [--seed N]
                  [--jobs a,b,..] [--attempts N] [--deadline-ms N]
                  [--time-budget-ms N] [--degraded] [--metrics-json FILE]
+                 [--telemetry BASE]
                  (supervised figure/table regeneration: dependency-aware
                   job queue with watchdog deadlines, bounded retry, and a
                   crash-safe journal; --resume skips journaled jobs;
-                  --metrics-json exports campaign-total protocol counters)
+                  --metrics-json exports campaign-total protocol counters;
+                  --telemetry samples simulated-time series per job and
+                  writes the merged profile to BASE.csv and BASE.om)
   hswx perfbench [--quick] [--baseline FILE] [--write-baseline] [--out FILE]
-                 [--tolerance PCT]
+                 [--tolerance PCT] [--history FILE] [--no-history]
                  (host-throughput walk kernels vs the committed
-                  BENCH_perf.json; exits nonzero on a regression)
+                  BENCH_perf.json; exits nonzero on a regression; every
+                  run appends a dated, git-sha-stamped entry to
+                  BENCH_history.jsonl unless --no-history)
   hswx soak      [--budget 60s|1500ms|N] [--seed N] [--out DIR] [--report FILE]
+                 [--metrics-json FILE]
                  (randomized chaos soak: mixed walks + recoverable fault
                   injection + mid-stream snapshot/restore round-trips +
                   cancellation storms under the strict monitor for a
@@ -53,6 +59,14 @@ USAGE:
   hswx explain fig7 [SIZE_KIB] [--fwd N] [--home N]
                  (trace one read of the Figure 7 HitME/AllocateShared
                   anomaly and attribute its latency hop by hop)
+  hswx explain diff A B [--telemetry-a FILE] [--telemetry-b FILE]
+                 (compare two runs' metrics JSON exports — files or run
+                  directories — and rank the regression by hardware
+                  component; directories also diff telemetry.csv)
+  hswx top       [--dir DIR] [--frames N] [--interval-ms N] [--plain] [--once]
+                 (live dashboard tailing DIR/heartbeat.txt from a running
+                  campaign or soak: progress, retries, ETA, per-component
+                  activity sparklines; exits when the driver finishes)
 
 EXAMPLES:
   hswx latency --state M --level l1 --placer 1 --measurer 0
@@ -62,7 +76,10 @@ EXAMPLES:
   hswx explain fig7 128
   hswx faultcheck --quick
   hswx campaign --out results --resume --metrics-json results/metrics.json
+  hswx campaign --out results --telemetry results/telemetry
   hswx soak --budget 60s --seed 7 --report soak.json
+  hswx top --dir results
+  hswx explain diff runA/metrics.json runB/metrics.json
   hswx perfbench --quick";
 
 fn mode_of(flags: &Flags) -> Result<CoherenceMode, String> {
@@ -374,12 +391,67 @@ fn explain_fig7(_argv: &[String]) -> Result<(), String> {
         .into())
 }
 
+/// `hswx explain diff A B` — compare two runs' exports and localize the
+/// regression to named hardware components (see `hswx_bench::diffcmp`).
+/// `A`/`B` are metrics JSON files, or run directories holding
+/// `metrics.json` (and optionally `telemetry.csv`, which is then diffed
+/// too); `--telemetry-a/-b` point at explicit telemetry CSVs.
+fn explain_diff(argv: &[String]) -> Result<(), String> {
+    use hswx_bench::diffcmp;
+    let flags = Flags::parse(argv, &[])?;
+    let [a, b] = flags.positional.as_slice() else {
+        return Err("explain diff needs exactly two run paths (files or directories)".into());
+    };
+    // One run's inputs: parsed counters + optional telemetry totals.
+    type LoadedRun = (hswx_engine::metrics::MetricsExport, Option<Vec<(String, u64)>>);
+    let load = |arg: &str, telemetry_flag: Option<&str>| -> Result<LoadedRun, String> {
+        let path = std::path::Path::new(arg);
+        let metrics_path =
+            if path.is_dir() { path.join("metrics.json") } else { path.to_path_buf() };
+        let text = std::fs::read_to_string(&metrics_path)
+            .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+        let export = hswx_engine::metrics::MetricsExport::parse(&text)
+            .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+        let telemetry_path = match telemetry_flag {
+            Some(p) => Some(std::path::PathBuf::from(p)),
+            None if path.is_dir() => {
+                Some(path.join("telemetry.csv")).filter(|p| p.exists())
+            }
+            None => None,
+        };
+        let telemetry = telemetry_path
+            .map(|p| {
+                let text =
+                    std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+                diffcmp::parse_telemetry_totals(&text).map_err(|e| format!("{}: {e}", p.display()))
+            })
+            .transpose()?;
+        Ok((export, telemetry))
+    };
+    let (ea, ta) = load(a, flags.map_get("telemetry-a"))?;
+    let (eb, tb) = load(b, flags.map_get("telemetry-b"))?;
+    println!("run A: {a}\nrun B: {b}\n");
+    print!("{}", diffcmp::render_table("protocol counters", &diffcmp::rank_metrics(&ea, &eb)));
+    if let (Some(ta), Some(tb)) = (ta, tb) {
+        println!();
+        print!(
+            "{}",
+            diffcmp::render_table("telemetry channels", &diffcmp::rank_deltas(&ta, &tb))
+        );
+    }
+    Ok(())
+}
+
 /// `hswx explain` — run one placed-state access with the protocol
 /// transcript armed and print the steps in order. The `fig7` form
-/// instead traces the Figure 7 anomaly point (see [`explain_fig7`]).
+/// instead traces the Figure 7 anomaly point (see [`explain_fig7`]); the
+/// `diff` form compares two runs' exports (see [`explain_diff`]).
 pub fn explain(argv: &[String]) -> Result<(), String> {
     if argv.first().map(String::as_str) == Some("fig7") {
         return explain_fig7(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("diff") {
+        return explain_diff(&argv[1..]);
     }
     let flags = Flags::parse(argv, &[])?;
     let mode = mode_of(&flags)?;
@@ -529,6 +601,8 @@ pub fn campaign(argv: &[String]) -> Result<(), String> {
         force_degraded: flags.has("degraded"),
         ..hswx_bench::SupervisorConfig::default()
     };
+    let telemetry_base = flags.map_get("telemetry").map(str::to_string);
+    cfg.telemetry = telemetry_base.is_some();
     cfg.seed = flags.get_parse("seed", cfg.seed)?;
     cfg.max_attempts = flags.get_parse("attempts", cfg.max_attempts)?;
     if cfg.max_attempts == 0 {
@@ -568,6 +642,21 @@ pub fn campaign(argv: &[String]) -> Result<(), String> {
         hswx_engine::atomic_write(std::path::Path::new(path), reg.to_json().as_bytes(), false)
             .map_err(|e| format!("{path}: {e}"))?;
         println!("metrics exported to {path}");
+    }
+
+    // Export the merged simulated-time telemetry profile as CSV and
+    // OpenMetrics. An empty run (nothing sampled — e.g. a no-trace build)
+    // still writes structurally valid, channel-free files.
+    if let Some(base) = telemetry_base {
+        let merged = summary.telemetry_merged().unwrap_or_else(|| {
+            hswx_engine::TelemetrySampler::new(hswx_engine::TelemetryConfig::default())
+        });
+        for (ext, body) in [("csv", merged.to_csv()), ("om", merged.to_openmetrics())] {
+            let path = format!("{base}.{ext}");
+            hswx_engine::atomic_write(std::path::Path::new(&path), body.as_bytes(), false)
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        println!("telemetry exported to {base}.csv and {base}.om");
     }
 
     // One trace artifact per campaign run: a span tree of the Figure 7
@@ -654,6 +743,17 @@ pub fn soak(argv: &[String]) -> Result<(), String> {
             .map_err(|e| format!("{path}: {e}"))?;
         println!("soak report written to {path}");
     }
+    // Metrics-registry JSON export, same schema as `campaign
+    // --metrics-json`, so soak runs diff against campaigns and each other.
+    if let Some(path) = flags.map_get("metrics-json") {
+        let reg = hswx_engine::MetricsRegistry::new();
+        for (name, v) in &report.metrics {
+            reg.counter(name).fetch_add(*v, std::sync::atomic::Ordering::Relaxed);
+        }
+        hswx_engine::atomic_write(std::path::Path::new(path), reg.to_json().as_bytes(), false)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics exported to {path}");
+    }
     if report.ok() {
         Ok(())
     } else {
@@ -673,7 +773,7 @@ pub fn soak(argv: &[String]) -> Result<(), String> {
 /// * `--out FILE`: also dump the run's JSON to `FILE`;
 /// * `--tolerance PCT`: allowed walks/sec drop before failing (default 30).
 pub fn perfbench(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["quick", "write-baseline"])?;
+    let flags = Flags::parse(argv, &["quick", "write-baseline", "no-history"])?;
     let quick = flags.has("quick");
     let baseline_path = flags.get("baseline", "BENCH_perf.json").to_string();
     let tolerance = flags.get_parse("tolerance", 30.0f64)? / 100.0;
@@ -684,6 +784,25 @@ pub fn perfbench(argv: &[String]) -> Result<(), String> {
     eprintln!("running {} perfbench suite...", if quick { "quick" } else { "full" });
     let report = hswx_bench::perf::run(quick);
     print!("{}", report.to_text());
+
+    // Append a dated, sha-stamped JSONL entry so walks/sec is queryable
+    // over time, not just gated against the last committed baseline.
+    if !flags.has("no-history") {
+        let history_path = flags.get("history", "BENCH_history.jsonl").to_string();
+        let epoch = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let sha = hswx_bench::perf::current_git_sha();
+        hswx_bench::perf::append_history(
+            std::path::Path::new(&history_path),
+            &report,
+            epoch,
+            &sha,
+        )
+        .map_err(|e| format!("{history_path}: {e}"))?;
+        println!("history entry appended to {history_path} (commit {sha})");
+    }
 
     if let Some(out) = flags.map_get("out") {
         std::fs::write(out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
@@ -723,6 +842,59 @@ pub fn perfbench(argv: &[String]) -> Result<(), String> {
                 lines.len(),
                 tolerance * 100.0
             ))
+        }
+    }
+}
+
+/// `hswx top` — live dashboard tailing `<dir>/heartbeat.txt` from a
+/// running campaign or soak (see [`crate::top`] for the renderer).
+/// Polls every `--interval-ms`, exits once the driver's status leaves
+/// `running` (or after `--frames` frames; `--once` renders exactly one).
+/// `--plain` prints ASCII frames sequentially instead of ANSI redraws —
+/// for logs, pipes, and tests.
+pub fn top(argv: &[String]) -> Result<(), String> {
+    use std::io::Write;
+    let flags = Flags::parse(argv, &["plain", "once"])?;
+    let dir = std::path::PathBuf::from(flags.get("dir", "results"));
+    let path = dir.join("heartbeat.txt");
+    let interval =
+        std::time::Duration::from_millis(flags.get_parse("interval-ms", 500u64)?.max(10));
+    let plain = flags.has("plain");
+    let max_frames = if flags.has("once") { 1 } else { flags.get_parse("frames", 0u64)? };
+
+    let mut history = crate::top::History::default();
+    let mut rendered = 0u64;
+    let mut waited = std::time::Duration::ZERO;
+    loop {
+        match Heartbeat::read(&path)? {
+            None if rendered == 0 => {
+                // Driver still starting up: wait for the first frame, but
+                // not forever — a wrong --dir should fail, not hang.
+                if waited >= std::time::Duration::from_secs(30) {
+                    return Err(format!("no heartbeat at {} after 30s", path.display()));
+                }
+                if waited.is_zero() {
+                    eprintln!("waiting for a heartbeat at {} ...", path.display());
+                }
+                std::thread::sleep(interval);
+                waited += interval;
+            }
+            None => return Ok(()), // out dir cleaned up mid-watch
+            Some(hb) => {
+                history.observe(&hb.metrics);
+                let frame = crate::top::render_frame(&hb, &history, plain);
+                if plain {
+                    println!("{frame}");
+                } else {
+                    print!("\x1b[2J\x1b[H{frame}");
+                }
+                let _ = std::io::stdout().flush();
+                rendered += 1;
+                if hb.status != "running" || (max_frames > 0 && rendered >= max_frames) {
+                    return Ok(());
+                }
+                std::thread::sleep(interval);
+            }
         }
     }
 }

@@ -13,6 +13,7 @@
 //! hswx faultcheck [--quick] [--json FILE]
 //! hswx campaign  [--resume] [--time-budget-ms N] [--jobs a,b,..]
 //! hswx soak      [--budget 60s] [--seed N] [--out DIR] [--report FILE]
+//! hswx top       [--dir DIR] [--frames N] [--interval-ms N] [--plain]
 //! hswx perfbench [--quick] [--baseline FILE] [--write-baseline]
 //! ```
 //!
@@ -20,6 +21,7 @@
 
 mod args;
 mod cmds;
+mod top;
 
 use std::process::ExitCode;
 
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
         "faultcheck" => cmds::faultcheck(rest),
         "campaign" => cmds::campaign(rest),
         "soak" => cmds::soak(rest),
+        "top" => cmds::top(rest),
         "perfbench" => cmds::perfbench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);

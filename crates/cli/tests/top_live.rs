@@ -1,0 +1,133 @@
+//! Live-dashboard integration test: `hswx top` must render real frames
+//! against a *running* campaign (the ISSUE acceptance criterion), and a
+//! finished run must leave a final heartbeat `top --once` can render
+//! after the fact.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn hswx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hswx"))
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hswx-top-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wait_for(path: &Path, timeout: Duration) {
+    let t0 = Instant::now();
+    while !path.exists() {
+        assert!(t0.elapsed() < timeout, "{} never appeared", path.display());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn top_renders_live_frames_against_a_running_campaign() {
+    let dir = fresh_dir("live");
+    // The per-job delay keeps the campaign alive long enough for several
+    // dashboard polls; the heartbeat is written before jobs start.
+    let mut campaign = hswx()
+        .args([
+            "campaign",
+            "--out",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "table1",
+        ])
+        .env("HSWX_CAMPAIGN_DELAY_MS", "1500")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn campaign");
+    wait_for(&dir.join("heartbeat.txt"), Duration::from_secs(10));
+
+    let top = hswx()
+        .args([
+            "top",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--frames",
+            "3",
+            "--interval-ms",
+            "100",
+            "--plain",
+        ])
+        .output()
+        .expect("run hswx top");
+    let stdout = String::from_utf8_lossy(&top.stdout);
+    assert!(top.status.success(), "top failed: {stdout}");
+    let frames = stdout.matches("hswx top - campaign").count();
+    assert!(
+        (1..=3).contains(&frames),
+        "expected 1..=3 rendered frames, got {frames}:\n{stdout}"
+    );
+    // The campaign was mid-flight when top started polling: at least one
+    // frame must show it still running with the job in flight or done.
+    assert!(
+        stdout.contains("[running]") || stdout.contains("[done]"),
+        "no status in frames:\n{stdout}"
+    );
+    assert!(stdout.contains("/1 jobs"), "no progress bar:\n{stdout}");
+
+    let status = campaign.wait().expect("campaign exits");
+    assert!(status.success(), "campaign failed under observation");
+
+    // After completion the final heartbeat persists: `top --once` renders
+    // the done state after the fact.
+    let once = hswx()
+        .args(["top", "--dir", dir.to_str().unwrap(), "--once", "--plain"])
+        .output()
+        .expect("run hswx top --once");
+    let stdout = String::from_utf8_lossy(&once.stdout);
+    assert!(once.status.success(), "{stdout}");
+    assert!(stdout.contains("[done]"), "final frame not done:\n{stdout}");
+    assert!(stdout.contains("1/1 jobs"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn top_once_shows_component_totals_from_a_soak_heartbeat() {
+    // Soak drives real simulators, so its heartbeat carries drained
+    // protocol counters; `top --once` must render them as component
+    // activity lines. (The campaign test above uses table1, a pure
+    // formatter with no counters, to keep the live-polling phase fast.)
+    let dir = fresh_dir("soak");
+    let soak = hswx()
+        .args(["soak", "--budget", "200ms", "--seed", "7", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("run hswx soak");
+    assert!(soak.status.success(), "{}", String::from_utf8_lossy(&soak.stderr));
+
+    let out = hswx()
+        .args(["top", "--dir", dir.to_str().unwrap(), "--once", "--plain"])
+        .output()
+        .expect("run hswx top --once");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("hswx top - soak [done]"), "{stdout}");
+    assert!(stdout.contains("rounds"), "soak frames count rounds, not jobs:\n{stdout}");
+    assert!(stdout.contains("component activity"), "{stdout}");
+    assert!(stdout.contains("sys.walks"), "no counter totals rendered:\n{stdout}");
+    assert!(stdout.contains("qpi.bytes"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn top_fails_cleanly_when_no_driver_is_running() {
+    let dir = fresh_dir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A malformed heartbeat must be a typed error, not a hang or a panic.
+    std::fs::write(dir.join("heartbeat.txt"), "not a heartbeat\n").unwrap();
+    let out = hswx()
+        .args(["top", "--dir", dir.to_str().unwrap(), "--once", "--plain"])
+        .output()
+        .expect("run hswx top");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a heartbeat"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

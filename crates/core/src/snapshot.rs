@@ -38,7 +38,11 @@ use std::path::Path;
 /// Schema version of the system snapshot payload. Bump on any layout
 /// change; [`System::restore`] rejects frames with a different version
 /// with a typed [`SnapshotError::UnsupportedSchema`].
-pub const SYSTEM_SNAPSHOT_SCHEMA: u32 = 1;
+///
+/// v2 appended the optional telemetry-sampler section so a restored run
+/// continues its simulated-time series without double-counted or missing
+/// buckets.
+pub const SYSTEM_SNAPSHOT_SCHEMA: u32 = 2;
 
 fn corrupt(what: &'static str, detail: String) -> SnapshotError {
     SnapshotError::Corrupt { what, detail }
@@ -531,6 +535,24 @@ impl System {
         for b in self.fanout_bins {
             w.u64(b);
         }
+
+        // Telemetry sampler (when attached): the in-progress simulated-time
+        // series rides along so a resumed run's buckets continue exactly
+        // where the snapshot left them. The tracer, cancel token, and
+        // metrics registry stay transient scratch as documented above —
+        // the sampler is different because its *contents* are simulation
+        // results, not handles.
+        #[cfg(feature = "trace")]
+        match &self.sampler {
+            Some(s) => {
+                w.bool(true);
+                s.encode(&mut w);
+            }
+            None => w.bool(false),
+        }
+        #[cfg(not(feature = "trace"))]
+        w.bool(false);
+
         w.finish()
     }
 
@@ -662,6 +684,18 @@ impl System {
 
         for b in sys.fanout_bins.iter_mut() {
             *b = r.u64()?;
+        }
+
+        if r.bool()? {
+            let sampler = hswx_engine::TelemetrySampler::decode(&mut r)?;
+            // Without the `trace` feature the series is parsed (so the
+            // frame fully validates) but has nowhere to live.
+            #[cfg(feature = "trace")]
+            {
+                sys.sampler = Some(Box::new(sampler));
+            }
+            #[cfg(not(feature = "trace"))]
+            let _ = sampler;
         }
         r.expect_end()?;
         Ok(sys)

@@ -26,6 +26,8 @@ use hswx_coherence::{
 #[cfg(feature = "trace")]
 use hswx_engine::trace::{EventSink as _, SpanRecorder};
 use hswx_engine::trace::SpanId;
+#[cfg(feature = "trace")]
+use hswx_engine::{TelemetryHub, TelemetrySampler};
 use hswx_engine::{
     fnv1a64, fnv1a64_extend, CancelToken, FxHashMap, MetricsRegistry, SimDuration, SimTime,
     ThroughputResource, TimedPool,
@@ -240,6 +242,16 @@ pub struct System {
     /// Root span of the walk in flight (tracer attached only).
     #[cfg(feature = "trace")]
     walk_span: Option<SpanId>,
+    /// Simulated-time telemetry sampler (see `hswx_engine::telemetry`);
+    /// `None` — the default — costs nothing on the walk path. Created
+    /// from the ambient [`TelemetryHub`] at construction or attached
+    /// explicitly; shares the tracer's `TRACED` monomorphization gate.
+    #[cfg(feature = "trace")]
+    pub(crate) sampler: Option<Box<TelemetrySampler>>,
+    /// Ambient telemetry hub captured at construction; the sampler is
+    /// folded into it exactly once, on drop or explicit flush.
+    #[cfg(feature = "trace")]
+    telemetry_hub: Option<std::sync::Arc<TelemetryHub>>,
     /// Ambient metrics registry captured at construction (see
     /// `hswx_engine::metrics`); `None` outside supervised runs.
     metrics: Option<std::sync::Arc<MetricsRegistry>>,
@@ -353,6 +365,10 @@ impl System {
             tracer: None,
             #[cfg(feature = "trace")]
             walk_span: None,
+            #[cfg(feature = "trace")]
+            sampler: TelemetryHub::ambient().map(|h| Box::new(h.sampler())),
+            #[cfg(feature = "trace")]
+            telemetry_hub: TelemetryHub::ambient(),
             metrics: MetricsRegistry::ambient(),
             walk_snoop_base: 0,
             fanout_bins: [0; 9],
@@ -464,19 +480,107 @@ impl System {
         self.tracer.is_some()
     }
 
-    /// Whether the next walk must record spans. The walk entry points
-    /// test this once and select the `TRACED = true` monomorphization;
-    /// `TRACED = false` is a compile-time promise that no tracer is
-    /// attached, discharging every instrumented site for free.
+    /// Attach a simulated-time telemetry sampler, replacing the one
+    /// captured from the ambient [`TelemetryHub`] (if any). Subsequent
+    /// walks bucket component activity into it.
+    #[cfg(feature = "trace")]
+    pub fn attach_sampler(&mut self, sampler: TelemetrySampler) {
+        self.sampler = Some(Box::new(sampler));
+    }
+
+    /// Detach the telemetry sampler, returning everything it bucketed.
+    /// A detached sampler is *not* folded into the ambient hub on drop.
+    #[cfg(feature = "trace")]
+    pub fn take_sampler(&mut self) -> Option<TelemetrySampler> {
+        self.sampler.take().map(|b| *b)
+    }
+
+    /// Whether a telemetry sampler is currently attached.
+    #[cfg(feature = "trace")]
+    pub fn sampling(&self) -> bool {
+        self.sampler.is_some()
+    }
+
+    /// Whether the next walk must record spans or telemetry samples. The
+    /// walk entry points test this once and select the `TRACED = true`
+    /// monomorphization; `TRACED = false` is a compile-time promise that
+    /// no tracer or sampler is attached, discharging every instrumented
+    /// site for free.
     #[inline(always)]
     fn trace_armed(&self) -> bool {
         #[cfg(feature = "trace")]
         {
-            self.tracer.is_some()
+            self.tracer.is_some() || self.sampler.is_some()
         }
         #[cfg(not(feature = "trace"))]
         {
             false
+        }
+    }
+
+    /// Add `value` to telemetry channel `name` in the bucket at `at`
+    /// (no-op unless a sampler is attached; with the `trace` feature off
+    /// this folds away entirely, like [`span_leaf`](Self::span_leaf)).
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn tap<const TRACED: bool>(&mut self, name: &'static str, at: SimTime, value: u64) {
+        #[cfg(feature = "trace")]
+        if TRACED && self.sampler.is_some() {
+            self.tap_cold(name, at, value);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn tap_cold(&mut self, name: &'static str, at: SimTime, value: u64) {
+        if let Some(s) = self.sampler.as_deref_mut() {
+            s.record(name, at, value);
+        }
+    }
+
+    /// Distribute the busy interval `[start, end)` into telemetry channel
+    /// `name` (no-op unless a sampler is attached).
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn tap_span<const TRACED: bool>(&mut self, name: &'static str, start: SimTime, end: SimTime) {
+        #[cfg(feature = "trace")]
+        if TRACED && self.sampler.is_some() {
+            self.tap_span_cold(name, start, end);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[cold]
+    #[inline(never)]
+    fn tap_span_cold(&mut self, name: &'static str, start: SimTime, end: SimTime) {
+        if let Some(s) = self.sampler.as_deref_mut() {
+            s.record_span(name, start, end);
+        }
+    }
+
+    /// Count a gated walk abort in the cancellation telemetry channels.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn tap_walk_abort<const TRACED: bool>(&mut self, err: &SimError, t: SimTime) {
+        #[cfg(feature = "trace")]
+        if TRACED && self.sampler.is_some() {
+            let name = match err {
+                SimError::Cancelled { .. } => "cancel.aborts",
+                SimError::Poisoned { .. } => "cancel.poison_blocked",
+                _ => return,
+            };
+            self.tap_cold(name, t, 1);
+        }
+    }
+
+    /// Fold the sampler into the ambient telemetry hub captured at
+    /// construction (no-op without both). Runs automatically when the
+    /// system drops; calling it earlier flushes once and detaches.
+    pub fn flush_telemetry(&mut self) {
+        #[cfg(feature = "trace")]
+        if let (Some(hub), Some(sampler)) = (self.telemetry_hub.take(), self.sampler.take()) {
+            hub.absorb(*sampler);
         }
     }
 
@@ -797,13 +901,18 @@ impl System {
             self.span_leaf_with::<TRACED, _>("qpi_hop", "qpi", t, hop_done, || {
                 format!("{from:?}\u{2192}{to:?} {bytes}B")
             });
+            self.tap::<TRACED>("qpi.bytes", t, bytes);
+            self.tap_span::<TRACED>("qpi.busy_ps", t, hop_done);
             if at > hop_done {
                 self.span_leaf::<TRACED>("qpi_crc_replay", "qpi", hop_done, at);
+                self.tap::<TRACED>("qpi.crc_replays", hop_done, 1);
+                self.tap_span::<TRACED>("qpi.replay_busy_ps", hop_done, at);
             }
             at
         } else {
             let at = t + transit;
             self.span_leaf::<TRACED>("ring_hop", "ring", t, at);
+            self.tap_span::<TRACED>("ring.busy_ps", t, at);
             at
         }
     }
@@ -1137,6 +1246,7 @@ impl System {
         t: SimTime,
     ) -> Result<AccessOutcome, SimError> {
         if let Some(err) = self.walk_gate(core, line) {
+            self.tap_walk_abort::<TRACED>(&err, t);
             return Err(err);
         }
         let ci = core.0 as usize;
@@ -1448,6 +1558,7 @@ impl System {
                 if dirty_wb {
                     let (wb_done, _) = self.mem[ha.0 as usize].access(resp_at_ha, line, true);
                     self.span_leaf::<TRACED>("dram_wb", "mem", resp_at_ha, wb_done);
+                    self.tap_span::<TRACED>("dram.busy_ps", resp_at_ha, wb_done);
                     self.stats.dram_writebacks += 1;
                 }
                 if let Some(slot) = self.l3[pslice.0 as usize].peek_mut(line) {
@@ -1494,6 +1605,7 @@ impl System {
             if dirty {
                 let (wb_done, _) = self.mem[ha.0 as usize].access(resp_at_ha, line, true);
                 self.span_leaf::<TRACED>("dram_wb", "mem", resp_at_ha, wb_done);
+                self.tap_span::<TRACED>("dram.busy_ps", resp_at_ha, wb_done);
                 self.stats.dram_writebacks += 1;
             }
             if let Some(slot) = self.l3[pslice.0 as usize].peek_mut(line) {
@@ -1526,6 +1638,7 @@ impl System {
         let ha = self.topo.ha_for_line(line);
         let t_miss = t_at_ca + self.ns(self.cal.t_l3_tag);
         self.span_leaf::<TRACED>("cbo_tag", "coherence", t_at_ca, t_miss);
+        self.tap_span::<TRACED>("cbo.tag_busy_ps", t_at_ca, t_miss);
         let all = self.all_nodes();
 
         let mut probes: Vec<PeerProbe> = Vec::new();
@@ -1557,6 +1670,8 @@ impl System {
         let mut t_arrival = t_admitted + self.ns(self.cal.t_ha);
         self.span_leaf::<TRACED>("tracker_wait", "coherence", req_at_ha, t_admitted);
         self.span_leaf::<TRACED>("ha_pipeline", "coherence", t_admitted, t_arrival);
+        self.tap_span::<TRACED>("ha.tracker_wait_ps", req_at_ha, t_admitted);
+        self.tap_span::<TRACED>("ha.pipeline_busy_ps", t_admitted, t_arrival);
 
         // Transient HitME SRAM read glitch (injected): the HA re-reads
         // the directory cache, stalling its pipeline one access latency.
@@ -1566,6 +1681,7 @@ impl System {
             let before = t_arrival;
             t_arrival += self.ns(self.cal.t_hitme);
             self.span_leaf::<TRACED>("hitme_reread", "coherence", before, t_arrival);
+            self.tap::<TRACED>("recovery.hitme_rereads", before, 1);
             self.log(t_arrival, ProtoStep::HitMeRetry);
         }
 
@@ -1579,6 +1695,11 @@ impl System {
                 Some((_, clean)) => format!("hit clean={clean}"),
                 None => "miss".to_string(),
             });
+            self.tap::<TRACED>(
+                if h.is_some() { "hitme.hits" } else { "hitme.misses" },
+                t_arrival,
+                1,
+            );
             h
         } else {
             None
@@ -1591,6 +1712,7 @@ impl System {
         self.span_leaf_with::<TRACED, _>("dram_row", "mem", t_arrival, dev_done, || {
             format!("{row_outcome:?} ch{channel}")
         });
+        self.tap_span::<TRACED>("dram.busy_ps", t_arrival, dev_done);
         let mut dram_done = dev_done + self.ns(self.cal.t_mem_ctl);
         self.span_leaf::<TRACED>("mem_ctl", "mem", dev_done, dram_done);
 
@@ -1633,12 +1755,24 @@ impl System {
                 let before = dram_done;
                 dram_done += self.ns(self.cal.t_mem_ctl);
                 self.span_leaf::<TRACED>("dir_ecc_reread", "mem", before, dram_done);
+                self.tap::<TRACED>("recovery.dir_rereads", before, 1);
                 self.log(dram_done, ProtoStep::DirectoryRetry);
             }
             self.log(dram_done, ProtoStep::DirectoryRead { state: dir_prev });
             self.span_leaf_with::<TRACED, _>("dir_read", "coherence", dram_done, dram_done, || {
                 format!("{dir_prev:?}")
             });
+            self.tap::<TRACED>(
+                if dir_prev == DirState::RemoteInvalid {
+                    // Nobody remote holds the line — the speculative
+                    // memory read already has the data ("hit").
+                    "directory.remote_invalid"
+                } else {
+                    "directory.snoop_needed"
+                },
+                dram_done,
+                1,
+            );
             let dplan = ha_read_dir_plan(dir_prev, node, home, all);
             memory_reply_ok = dplan.memory_reply_ok;
             if !dplan.snoops.is_empty() {
@@ -1800,6 +1934,7 @@ impl System {
         t: SimTime,
     ) -> Result<AccessOutcome, SimError> {
         if let Some(err) = self.walk_gate(core, line) {
+            self.tap_walk_abort::<TRACED>(&err, t);
             return Err(err);
         }
         let ci = core.0 as usize;
@@ -2003,6 +2138,7 @@ impl System {
                     let ha = self.topo.ha_for_line(line);
                     let (wb_done, _) = self.mem[ha.0 as usize].access(t_at, line, true);
                     self.span_leaf::<TRACED>("dram_wb", "mem", t_at, wb_done);
+                    self.tap_span::<TRACED>("dram.busy_ps", t_at, wb_done);
                     self.stats.dram_writebacks += 1;
                 }
             }
@@ -2062,11 +2198,13 @@ impl System {
         // the DRAM drain rate.
         let t_accept = self.wc_buf[ci].wait_for_slot(t_wc);
         self.span_leaf::<TRACED>("wc_drain", "mem", t_wc, t_accept);
+        self.tap_span::<TRACED>("core.wc_drain_ps", t_wc, t_accept);
         let ha = self.topo.ha_for_line(line);
         let t_at_ha = self.send::<TRACED>(t_accept, Endpoint::Core(core), Endpoint::Ha(ha), self.cal.msg_data);
         let t_mem = t_at_ha + self.ns(self.cal.t_ha);
         let (drained, _) = self.mem[ha.0 as usize].access(t_mem, line, true);
         self.span_leaf::<TRACED>("dram_row", "mem", t_mem, drained);
+        self.tap_span::<TRACED>("dram.busy_ps", t_mem, drained);
         self.wc_buf[ci].occupy_until(drained);
         self.stats.dram_writebacks += 1;
         if self.proto.directory {
@@ -2314,5 +2452,6 @@ impl Drop for System {
     /// [`flush_metrics`](System::flush_metrics) call.
     fn drop(&mut self) {
         self.flush_metrics();
+        self.flush_telemetry();
     }
 }

@@ -29,12 +29,16 @@
 //!   exact per-component latency attribution, Chrome trace-event export.
 //! * [`metrics`] — lock-free named counters/histograms with ambient
 //!   per-thread installation, aggregated per-job by campaign supervisors.
+//! * [`telemetry`] — bounded-memory simulated-time series: component
+//!   counters bucketed into fixed intervals with deterministic
+//!   downsampling, merged across systems by an ambient [`TelemetryHub`].
 //!
 //! The engine knows nothing about caches or coherence; it is a generic DES
 //! toolkit kept separate so its invariants can be tested in isolation.
 
 pub mod cancel;
 pub mod fsio;
+pub mod heartbeat;
 pub mod fxhash;
 pub mod metrics;
 pub mod queue;
@@ -42,11 +46,13 @@ pub mod resource;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use cancel::CancelToken;
 pub use fsio::{atomic_write, fnv1a64, fnv1a64_extend};
+pub use heartbeat::Heartbeat;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
@@ -54,5 +60,6 @@ pub use resource::{ThroughputResource, TimedPool, TokenPool};
 pub use rng::DetRng;
 pub use snapshot::{SnapReader, SnapWriter, SnapshotError};
 pub use stats::{Counter, Histogram, OnlineStats};
+pub use telemetry::{TelemetryConfig, TelemetryHub, TelemetrySampler};
 pub use time::{SimDuration, SimTime, PS_PER_NS};
 pub use trace::{EventSink, Span, SpanId, SpanRecorder, WalkRecord};

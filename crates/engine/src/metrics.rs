@@ -54,6 +54,38 @@ impl AtomicHistogram {
     }
 }
 
+/// The value a log₂ bin reports for its samples: the inclusive upper
+/// edge of the bin's range (bin 0 → 0, bin b → 2ᵇ−1).
+pub fn bin_upper_edge(bin: usize) -> u64 {
+    if bin == 0 {
+        0
+    } else {
+        (1u64 << bin.min(63)) - 1
+    }
+}
+
+/// The `q_num/q_den` quantile of a binned distribution, reported as the
+/// upper edge of the bin the quantile rank falls in (an upper bound on
+/// the true sample, exact to within the log₂ bin width). Returns 0 for
+/// an empty histogram.
+pub fn bin_percentile(bins: &[u64; HISTOGRAM_BINS], q_num: u64, q_den: u64) -> u64 {
+    let count: u64 = bins.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    // Nearest-rank definition: the smallest value with at least
+    // ⌈count·q⌉ samples at or below it.
+    let rank = count.saturating_mul(q_num).div_ceil(q_den).max(1);
+    let mut cum = 0;
+    for (i, &b) in bins.iter().enumerate() {
+        cum += b;
+        if cum >= rank {
+            return bin_upper_edge(i);
+        }
+    }
+    bin_upper_edge(HISTOGRAM_BINS - 1)
+}
+
 impl Default for AtomicHistogram {
     fn default() -> Self {
         Self::new()
@@ -136,9 +168,12 @@ impl MetricsRegistry {
         out
     }
 
-    /// Deterministic JSON export (counters and trimmed histogram bins).
+    /// Deterministic JSON export: schema 2 — counters, trimmed histogram
+    /// bins, and nearest-rank p50/p95/p99 summaries per histogram.
+    /// Schema-1 files (bare bin arrays) remain readable via
+    /// [`parse_export`].
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"schema\": 1, \"counters\": {");
+        let mut out = String::from("{\"schema\": 2, \"counters\": {");
         for (i, (name, v)) in self.counters_snapshot().iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -151,14 +186,21 @@ impl MetricsRegistry {
                 out.push_str(", ");
             }
             let hi = bins.iter().rposition(|&b| b > 0).map_or(0, |p| p + 1);
-            let _ = write!(out, "\"{name}\": [");
+            let _ = write!(out, "\"{name}\": {{\"bins\": [");
             for (j, b) in bins[..hi].iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
                 }
                 let _ = write!(out, "{b}");
             }
-            out.push(']');
+            let count: u64 = bins.iter().sum();
+            let _ = write!(
+                out,
+                "], \"count\": {count}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                bin_percentile(bins, 50, 100),
+                bin_percentile(bins, 95, 100),
+                bin_percentile(bins, 99, 100),
+            );
         }
         out.push_str("}}\n");
         out
@@ -191,6 +233,201 @@ impl Drop for MetricsScope {
     fn drop(&mut self) {
         let prev = self.prev.take();
         AMBIENT.with(|slot| *slot.borrow_mut() = prev);
+    }
+}
+
+/// A parsed metrics export file: what [`MetricsRegistry::to_json`]
+/// writes, read back. Understands both the current schema 2 (histogram
+/// objects with percentile summaries) and the original schema 1 (bare
+/// bin arrays; summaries are recomputed from the bins).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsExport {
+    pub schema: u64,
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram name → summary, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Percentile summary of one exported histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub bins: Vec<u64>,
+    pub count: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    fn from_bins(bins: Vec<u64>) -> HistogramSummary {
+        let mut full = [0u64; HISTOGRAM_BINS];
+        for (i, &b) in bins.iter().take(HISTOGRAM_BINS).enumerate() {
+            full[i] = b;
+        }
+        HistogramSummary {
+            count: full.iter().sum(),
+            p50: bin_percentile(&full, 50, 100),
+            p95: bin_percentile(&full, 95, 100),
+            p99: bin_percentile(&full, 99, 100),
+            bins,
+        }
+    }
+}
+
+impl MetricsExport {
+    /// Parse a metrics JSON export (schema 1 or 2). The grammar accepted
+    /// is the subset `to_json` emits — flat string keys, unsigned
+    /// integers, bin arrays, and (schema 2) histogram summary objects —
+    /// with arbitrary whitespace.
+    pub fn parse(text: &str) -> Result<MetricsExport, String> {
+        let mut c = Cursor { b: text.as_bytes(), i: 0 };
+        c.expect(b'{')?;
+        let mut schema = 0u64;
+        let mut counters = Vec::new();
+        let mut histograms: Vec<(String, HistogramSummary)> = Vec::new();
+        loop {
+            let key = c.string()?;
+            c.expect(b':')?;
+            match key.as_str() {
+                "schema" => schema = c.integer()?,
+                "counters" => {
+                    c.expect(b'{')?;
+                    while !c.try_expect(b'}') {
+                        let name = c.string()?;
+                        c.expect(b':')?;
+                        counters.push((name, c.integer()?));
+                        c.try_expect(b',');
+                    }
+                }
+                "histograms" => {
+                    c.expect(b'{')?;
+                    while !c.try_expect(b'}') {
+                        let name = c.string()?;
+                        c.expect(b':')?;
+                        histograms.push((name, c.histogram()?));
+                        c.try_expect(b',');
+                    }
+                }
+                other => return Err(format!("unexpected key `{other}` in metrics export")),
+            }
+            if !c.try_expect(b',') {
+                break;
+            }
+        }
+        c.expect(b'}')?;
+        if schema == 0 || schema > 2 {
+            return Err(format!("unsupported metrics schema {schema} (expected 1 or 2)"));
+        }
+        counters.sort();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(MetricsExport { schema, counters, histograms })
+    }
+
+    /// The value of counter `name`, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+}
+
+/// Byte cursor for the metrics-export subset of JSON.
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), String> {
+        if self.try_expect(ch) {
+            Ok(())
+        } else {
+            Err(format!(
+                "metrics export: expected `{}` at byte {}",
+                ch as char, self.i
+            ))
+        }
+    }
+
+    fn try_expect(&mut self, ch: u8) -> bool {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == ch {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            self.i += 1;
+        }
+        if self.i >= self.b.len() {
+            return Err("metrics export: unterminated string".into());
+        }
+        let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.i += 1;
+        Ok(s)
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("metrics export: expected integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "metrics export: integer out of range".into())
+    }
+
+    fn bin_array(&mut self) -> Result<Vec<u64>, String> {
+        self.expect(b'[')?;
+        let mut bins = Vec::new();
+        while !self.try_expect(b']') {
+            bins.push(self.integer()?);
+            self.try_expect(b',');
+        }
+        Ok(bins)
+    }
+
+    /// Either a schema-1 bare bin array or a schema-2 summary object.
+    fn histogram(&mut self) -> Result<HistogramSummary, String> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == b'[' {
+            return Ok(HistogramSummary::from_bins(self.bin_array()?));
+        }
+        self.expect(b'{')?;
+        let mut h = HistogramSummary::from_bins(Vec::new());
+        while !self.try_expect(b'}') {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "bins" => h.bins = self.bin_array()?,
+                "count" => h.count = self.integer()?,
+                "p50" => h.p50 = self.integer()?,
+                "p95" => h.p95 = self.integer()?,
+                "p99" => h.p99 = self.integer()?,
+                other => return Err(format!("unexpected histogram key `{other}`")),
+            }
+            self.try_expect(b',');
+        }
+        Ok(h)
     }
 }
 
@@ -259,9 +496,56 @@ mod tests {
         let json = reg.to_json();
         assert_eq!(
             json,
-            "{\"schema\": 1, \"counters\": {\"a.first\": 1, \"b.second\": 2}, \
-             \"histograms\": {\"fanout\": [0, 0, 1]}}\n"
+            "{\"schema\": 2, \"counters\": {\"a.first\": 1, \"b.second\": 2}, \
+             \"histograms\": {\"fanout\": {\"bins\": [0, 0, 1], \"count\": 1, \
+             \"p50\": 3, \"p95\": 3, \"p99\": 3}}}\n"
         );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_upper_edges() {
+        let mut bins = [0u64; HISTOGRAM_BINS];
+        assert_eq!(bin_percentile(&bins, 50, 100), 0);
+        // 90 samples of value 1 (bin 1), 10 samples of ~100 (bin 7).
+        bins[1] = 90;
+        bins[7] = 10;
+        assert_eq!(bin_percentile(&bins, 50, 100), 1);
+        assert_eq!(bin_percentile(&bins, 95, 100), bin_upper_edge(7));
+        assert_eq!(bin_percentile(&bins, 99, 100), 127);
+        assert_eq!(bin_upper_edge(0), 0);
+        assert_eq!(bin_upper_edge(5), 31);
+    }
+
+    #[test]
+    fn export_roundtrips_through_parse() {
+        let reg = MetricsRegistry::new();
+        reg.add("qpi.bytes", 640);
+        reg.add("sys.walks", 3);
+        reg.record("walk_ns", 100);
+        reg.record("walk_ns", 100);
+        reg.record("walk_ns", 7);
+        let parsed = MetricsExport::parse(&reg.to_json()).unwrap();
+        assert_eq!(parsed.schema, 2);
+        assert_eq!(parsed.counter("qpi.bytes"), 640);
+        assert_eq!(parsed.counter("missing"), 0);
+        let (name, h) = &parsed.histograms[0];
+        assert_eq!(name, "walk_ns");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.p50, bin_upper_edge(AtomicHistogram::bin_of(100)));
+    }
+
+    #[test]
+    fn parse_accepts_schema_1_exports() {
+        let legacy = "{\"schema\": 1, \"counters\": {\"a\": 4}, \
+                      \"histograms\": {\"fanout\": [0, 0, 1]}}\n";
+        let parsed = MetricsExport::parse(legacy).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.counter("a"), 4);
+        let h = &parsed.histograms[0].1;
+        // Summaries recomputed from the bare bins.
+        assert_eq!((h.count, h.p50, h.p95), (1, 3, 3));
+        assert!(MetricsExport::parse("{\"schema\": 9, \"counters\": {}}").is_err());
+        assert!(MetricsExport::parse("not json").is_err());
     }
 
     #[test]

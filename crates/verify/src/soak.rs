@@ -35,7 +35,7 @@
 //! failing snapshot pair is dumped to the output directory for offline
 //! diffing); [`SoakReport::ok`] gates the `hswx soak` exit code.
 
-use hswx_engine::{CancelToken, DetRng, SimTime};
+use hswx_engine::{CancelToken, DetRng, Heartbeat, MetricsRegistry, SimTime};
 use hswx_haswell::{
     CoherenceMode, MonitorConfig, SimError, System, SystemConfig, SYSTEM_SNAPSHOT_SCHEMA,
 };
@@ -97,6 +97,10 @@ pub struct SoakReport {
     pub violations: Vec<SoakFailure>,
     /// Snapshot/restore divergences (must be empty).
     pub mismatches: Vec<SoakFailure>,
+    /// Protocol counter totals drained (ambiently) from every simulator
+    /// the soak built, sorted by name — the same registry schema campaign
+    /// metrics use, so `hswx explain diff` can compare soak runs too.
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl SoakReport {
@@ -149,6 +153,15 @@ impl SoakReport {
         out.push_str(&format!("  \"cancellation_storms\": {},\n", self.cancellation_storms));
         out.push_str(&format!("  \"cancelled_walks\": {},\n", self.cancelled_walks));
         out.push_str(&format!("  \"ok\": {},\n", self.ok()));
+        out.push_str("  \"metrics\": {");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {v}{}",
+                esc(name),
+                if i + 1 < self.metrics.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str("},\n");
         failures(&mut out, "violations", &self.violations, true);
         failures(&mut out, "mismatches", &self.mismatches, false);
         out.push_str("}\n");
@@ -551,12 +564,30 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         cancelled_walks: 0,
         violations: Vec::new(),
         mismatches: Vec::new(),
+        metrics: Vec::new(),
     };
     if let Some(dir) = &cfg.out_dir {
         let _ = std::fs::create_dir_all(dir);
     }
     let scratch = cfg.out_dir.clone().unwrap_or_else(std::env::temp_dir);
+    // Every simulator the soak builds drains its protocol counters here
+    // on drop; the totals land in the report (and heartbeat) so soak runs
+    // are diffable like campaigns.
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let _metrics = MetricsRegistry::set_ambient(std::sync::Arc::clone(&registry));
+    let hb_path = cfg.out_dir.as_deref().map(|d| d.join("heartbeat.txt"));
     let start = Instant::now();
+    let beat = |report: &SoakReport, status: &str| {
+        let Some(path) = &hb_path else { return };
+        let mut hb = Heartbeat::start("soak", 0);
+        hb.status = status.to_string();
+        hb.elapsed_ms = start.elapsed().as_millis() as u64;
+        hb.done = report.rounds;
+        hb.failed = (report.violations.len() + report.mismatches.len()) as u64;
+        hb.metrics = registry.counters_snapshot();
+        let _ = hb.write(path);
+    };
+    beat(&report, "running");
     let mut idx = 0u64;
     // At least one round; stop once the budget is spent or something broke
     // (a soak that keeps going after a failure buries the evidence).
@@ -570,11 +601,15 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         run_round(&mut round, &scratch);
         report.rounds += 1;
         idx += 1;
-        if !report.ok() || start.elapsed() >= cfg.budget {
+        let stop = !report.ok() || start.elapsed() >= cfg.budget;
+        if stop {
             break;
         }
+        beat(&report, "running");
     }
     report.elapsed_ms = start.elapsed().as_millis() as u64;
+    report.metrics = registry.counters_snapshot();
+    beat(&report, if report.ok() { "done" } else { "failed" });
     report
 }
 
@@ -594,6 +629,11 @@ mod tests {
         assert!(report.rounds >= 1);
         assert!(report.walks > 0);
         assert!(report.snapshots >= 1, "every clean round verifies a snapshot");
+        assert!(
+            report.metrics.iter().any(|(n, v)| n == "sys.walks" && *v > 0),
+            "soak simulators should drain counters into the report: {:?}",
+            report.metrics
+        );
     }
 
     #[test]
@@ -612,12 +652,17 @@ mod tests {
             cancelled_walks: 16,
             violations: vec![],
             mismatches: vec![SoakFailure { round: 2, what: "digest \"diff\"".into() }],
+            metrics: vec![("snoop.sent".into(), 42), ("sys.walks".into(), 900)],
         };
         let json = report.to_json();
         assert!(json.contains("\"seed\": 7"));
         assert!(json.contains("\"ok\": false"));
         assert!(json.contains("\\\"diff\\\""), "failure text is escaped: {json}");
         assert!(json.contains("\"schema_version\""));
+        assert!(
+            json.contains("\"metrics\": {\"snoop.sent\": 42, \"sys.walks\": 900}"),
+            "{json}"
+        );
     }
 
     #[test]
