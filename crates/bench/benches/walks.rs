@@ -5,8 +5,11 @@
 //! while optimising (`cargo bench --bench walks`). The tracked regression
 //! gate lives in the CLI (`hswx perfbench --quick`), not here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hswx_bench::perf;
+use hswx_engine::SimTime;
+use hswx_haswell::{Access, CoherenceMode, Issue, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr};
 
 fn perf_kernels(c: &mut Criterion) {
     // Each criterion iteration runs one kernel end to end — System
@@ -28,9 +31,42 @@ fn perf_kernels(c: &mut Criterion) {
     });
 }
 
+/// `run_batch` vs the sequential reference (`run_batch_seq`) on the same
+/// memory-walk stream, at the batch sizes the batch engine is designed
+/// around. Every access targets a fresh line, so each walk takes the
+/// long path to DRAM — the workload the SoA staging + lookahead
+/// prefetcher exist for. The ratio between the `run_batch_N` and `seq_N`
+/// rows is the batch dividend at that size.
+fn batch_vs_seq(c: &mut Criterion) {
+    for &n in &[1usize, 16, 256, 4096] {
+        for batched in [false, true] {
+            let engine = if batched { "run_batch" } else { "seq" };
+            let mut sys = System::new(SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop));
+            let mut next_line = 0u64;
+            let mut t = SimTime::ZERO;
+            c.bench_function(&format!("batch/{engine}_{n}"), |b| {
+                b.iter(|| {
+                    let mut accs: Vec<Access> = (0..n as u64)
+                        .map(|i| Access::read(CoreId(0), LineAddr(next_line + i)))
+                        .collect();
+                    accs[0].issue = Issue::At(t);
+                    next_line += n as u64;
+                    let out = if batched {
+                        sys.run_batch(&accs)
+                    } else {
+                        sys.run_batch_seq(&accs)
+                    };
+                    t = out.done;
+                    black_box(out.replies.len())
+                })
+            });
+        }
+    }
+}
+
 criterion_group! {
     name = walks;
     config = Criterion::default().sample_size(10);
-    targets = perf_kernels
+    targets = perf_kernels, batch_vs_seq
 }
 criterion_main!(walks);

@@ -16,7 +16,7 @@ use hswx_engine::SimTime;
 use hswx_haswell::microbench::Buffer;
 use hswx_haswell::placement::{PlacedState, Placement};
 use hswx_haswell::report::sweep_sizes;
-use hswx_haswell::{CoherenceMode, System, SystemConfig};
+use hswx_haswell::{Access, CoherenceMode, Issue, System, SystemConfig};
 use hswx_mem::{CoreId, LineAddr, NodeId};
 use std::time::Instant;
 
@@ -129,6 +129,39 @@ fn mem_walk(iters: u64) -> KernelResult {
     })
 }
 
+/// `mem_walk`'s access stream dispatched through the batch engine
+/// (`System::run_batch`): SoA staging + lookahead prefetch over the same
+/// always-fresh cold-read chain. `mem_walk` stays on the sequential
+/// entry points as the differential reference; the gap between the two
+/// kernels is the batch engine's dividend and is tracked in
+/// `BENCH_history.jsonl` alongside both.
+fn mem_walk_batch(iters: u64) -> KernelResult {
+    let mode = CoherenceMode::SourceSnoop;
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let base = sys.topo.numa_base(NodeId(0)).line().0;
+    let warm = iters / 4;
+    let accs: Vec<Access> = (0..warm + iters)
+        .map(|i| Access::read(CoreId(0), LineAddr(base + i)))
+        .collect();
+    let (warm_accs, rest) = accs.split_at(warm as usize);
+    let mut t = sys.run_batch(warm_accs).done;
+    // Submitted in BATCH_CHUNK chunks, each re-anchored at the previous
+    // chunk's completion — the recommended shape for long chains (one
+    // monolithic submission would drag iters × 72 B of reply buffers
+    // through the host cache and give back the prefetcher's win).
+    let mut timed = rest.to_vec();
+    kernel("mem_walk_batch", iters, || {
+        let mut done = 0u64;
+        for chunk in timed.chunks_mut(hswx_haswell::BATCH_CHUNK) {
+            chunk[0].issue = Issue::At(t);
+            let out = sys.run_batch(chunk);
+            t = out.done;
+            done += out.replies.len() as u64;
+        }
+        done
+    })
+}
+
 /// Placement throughput: write + demote a Modified working set into L3
 /// (the setup phase that dominates figure regeneration).
 fn placement_l3(lines_n: u64) -> KernelResult {
@@ -158,6 +191,44 @@ fn placement_l3(lines_n: u64) -> KernelResult {
             SimTime::ZERO,
         );
         n
+    })
+}
+
+/// `placement_l3`'s workload built as one explicit `Access` batch (the
+/// write chain in a single `run_batch` call, then the prefetched demote
+/// loop). `Placement::place` itself routes through the batch engine, so
+/// this should track `placement_l3` closely — a growing gap between the
+/// two flags a regression in the explicit batch-construction path.
+fn placement_l3_batch(lines_n: u64) -> KernelResult {
+    let mode = CoherenceMode::SourceSnoop;
+    let mut sys = System::new(SystemConfig::e5_2680_v3(mode));
+    let buf = Buffer::on_node(&sys, NodeId(0), lines_n * 64, 0);
+    let lines = buf.lines;
+    let n = lines.len() as u64;
+    let warm = Buffer::on_node(&sys, NodeId(0), 2048 * 64, 1);
+    Placement::place(
+        &mut sys,
+        PlacedState::Modified,
+        &[CoreId(0)],
+        &warm.lines,
+        hswx_haswell::placement::Level::L3,
+        SimTime::ZERO,
+    );
+    let mut accs: Vec<Access> =
+        lines.iter().map(|&l| Access::write(CoreId(0), l)).collect();
+    kernel("placement_l3_batch", n, || {
+        let mut t = SimTime::ZERO;
+        let mut done = 0u64;
+        for chunk in accs.chunks_mut(hswx_haswell::BATCH_CHUNK) {
+            chunk[0].issue = Issue::At(t);
+            let out = sys.run_batch(chunk);
+            t = out.done;
+            done += out.replies.len() as u64;
+        }
+        for &l in &lines {
+            sys.demote_to_l3(CoreId(0), l, t);
+        }
+        done
     })
 }
 
@@ -195,7 +266,9 @@ pub fn run_kernel_for_bench(name: &str, walks: u64) -> f64 {
         "l1_hit_walk" => l1_hit_walk(walks),
         "l3_walk" => l3_walk(walks),
         "mem_walk" => mem_walk(walks),
+        "mem_walk_batch" => mem_walk_batch(walks),
         "placement_l3" => placement_l3(walks),
+        "placement_l3_batch" => placement_l3_batch(walks),
         other => panic!("unknown perf kernel {other}"),
     };
     k.walks_per_sec
@@ -224,7 +297,9 @@ pub fn run(quick: bool) -> PerfReport {
             l1_hit_walk(2_000_000),
             l3_walk(1_000_000),
             mem_walk(400_000),
+            mem_walk_batch(400_000),
             placement_l3(32 * 1024),
+            placement_l3_batch(32 * 1024),
         ]
     };
     let mut kernels = Vec::from(round());
@@ -244,7 +319,7 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": 1,\n");
+        s.push_str("  \"schema\": 2,\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", if self.quick { "quick" } else { "full" }));
         s.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
@@ -465,6 +540,42 @@ mod tests {
     }
 
     #[test]
+    fn schema1_baseline_still_parses() {
+        // A verbatim schema-1 `BENCH_perf.json` prefix (the pre-batch
+        // format, no `_batch` kernels): the parser is keyed on the kernel
+        // entries, not the schema number, so old baselines keep working.
+        let v1 = "{\n  \"schema\": 1,\n  \"mode\": \"full\",\n  \"kernels\": [\n    \
+                  {\"name\": \"l1_hit_walk\", \"walks\": 2000000, \"wall_s\": 0.0402, \"walks_per_sec\": 49755813.4},\n    \
+                  {\"name\": \"mem_walk\", \"walks\": 400000, \"wall_s\": 0.2795, \"walks_per_sec\": 1430886.5}\n  ],\n  \
+                  \"figures\": []\n}\n";
+        let parsed = parse_baseline(v1);
+        assert_eq!(
+            parsed,
+            vec![
+                ("l1_hit_walk".to_string(), 49755813.4),
+                ("mem_walk".to_string(), 1430886.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn schema2_report_lists_batch_kernels() {
+        let r = PerfReport {
+            quick: true,
+            kernels: vec![KernelResult {
+                name: "mem_walk_batch",
+                walks: 10,
+                wall_s: 0.5,
+                walks_per_sec: 20.0,
+            }],
+            figures: vec![],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": 2"));
+        assert_eq!(parse_baseline(&json), vec![("mem_walk_batch".to_string(), 20.0)]);
+    }
+
+    #[test]
     fn compare_passes_within_tolerance() {
         let r = tiny_report();
         let baseline = vec![("l1_hit_walk".to_string(), 25.0), ("mem_walk".to_string(), 6.0)];
@@ -533,6 +644,10 @@ mod tests {
         let k = super::l1_hit_walk(256);
         assert!(k.walks_per_sec > 0.0);
         let k = super::mem_walk(256);
+        assert!(k.walks_per_sec > 0.0);
+        let k = super::mem_walk_batch(256);
+        assert!(k.walks_per_sec > 0.0);
+        let k = super::placement_l3_batch(256);
         assert!(k.walks_per_sec > 0.0);
     }
 }

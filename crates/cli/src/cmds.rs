@@ -40,10 +40,11 @@ USAGE:
                   writes the merged profile to BASE.csv and BASE.om)
   hswx perfbench [--quick] [--baseline FILE] [--write-baseline] [--out FILE]
                  [--tolerance PCT] [--history FILE] [--no-history]
-                 (host-throughput walk kernels vs the committed
-                  BENCH_perf.json; exits nonzero on a regression; every
-                  run appends a dated, git-sha-stamped entry to
-                  BENCH_history.jsonl unless --no-history)
+                 (host-throughput walk kernels — sequential and
+                  batch-engine variants (mem_walk_batch, placement_l3_batch)
+                  — vs the committed BENCH_perf.json; exits nonzero on a
+                  regression; every run appends a dated, git-sha-stamped
+                  entry to BENCH_history.jsonl unless --no-history)
   hswx soak      [--budget 60s|1500ms|N] [--seed N] [--out DIR] [--report FILE]
                  [--metrics-json FILE]
                  (randomized chaos soak: mixed walks + recoverable fault

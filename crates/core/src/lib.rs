@@ -24,6 +24,8 @@
 //! * [`analytic`] — closed-form latency formulas used as differential
 //!   checks against the simulator.
 //! * [`system`] — the simulated machine and its transaction walks.
+//! * [`batch`] — the pipelined batch-walk engine (SoA staging + lookahead
+//!   prefetch), bit-identical to sequential dispatch.
 //! * [`error`] / [`monitor`] / [`inject`] — typed simulation errors, the
 //!   runtime invariant monitor, and the fault-injection hooks that make
 //!   every simulation self-checking.
@@ -33,6 +35,7 @@
 //! * [`report`] — result series/table plumbing shared by the bench harness.
 
 pub mod analytic;
+pub mod batch;
 pub mod calib;
 pub mod config;
 pub mod error;
@@ -52,4 +55,5 @@ pub use inject::RecoveryStats;
 pub use monitor::{MonitorConfig, Violation};
 pub use snapshot::SYSTEM_SNAPSHOT_SCHEMA;
 pub use placement::{PlacedState, Placement};
+pub use batch::{Access, AccessOp, BatchOutcome, BatchReply, Issue, BATCH_CHUNK};
 pub use system::{AccessOutcome, ProtoStep, Stats, System};

@@ -7,6 +7,7 @@
 //! coherence state — not the state mutated by the measurement itself — is
 //! what gets measured.
 
+use crate::batch::{Access, Issue};
 use crate::system::System;
 use hswx_coherence::DataSource;
 use hswx_engine::{DetRng, FxHashMap, Histogram, SimTime};
@@ -58,17 +59,33 @@ pub fn pointer_chase(
         at = cycle[at];
     }
 
+    // The whole chase order is known up front, so the dependent-load
+    // chain goes through the batch engine (bit-identical to the previous
+    // sequential `read` loop; the walks still issue one-per-arrival).
+    // Chunked so the access/reply buffers stay LLC-resident even for the
+    // multi-million-line chases at the top of the size sweep; each chunk
+    // re-anchors at the previous chunk's arrival time.
     let mut t = t0;
     let mut total_ns = 0.0;
     let mut by_source: FxHashMap<DataSource, u64> = FxHashMap::default();
     let mut histogram = Histogram::latency_ns();
-    for &line in &order {
-        let out = sys.read(core, line, t);
-        let lat = out.latency_ns(t);
-        total_ns += lat;
-        histogram.record(lat);
-        *by_source.entry(out.source).or_insert(0) += 1;
-        t = out.done; // dependent loads: next issues when data arrives
+    let mut accs: Vec<Access> = Vec::with_capacity(order.len().min(crate::batch::BATCH_CHUNK));
+    for chunk in order.chunks(crate::batch::BATCH_CHUNK) {
+        accs.clear();
+        accs.extend(chunk.iter().map(|&l| Access::read(core, l)));
+        accs[0].issue = Issue::At(t);
+        let out = sys.run_batch(&accs);
+        for r in &out.replies {
+            let out = match r {
+                Ok(rep) => rep.outcome().expect("chase is all reads"),
+                Err(e) => panic!("simulation error: {}", e.diagnostic()),
+            };
+            let lat = out.latency_ns(t);
+            total_ns += lat;
+            histogram.record(lat);
+            *by_source.entry(out.source).or_insert(0) += 1;
+            t = out.done; // dependent loads: next issues when data arrives
+        }
     }
     LatencyMeasurement {
         ns_per_access: total_ns / order.len() as f64,

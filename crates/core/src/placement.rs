@@ -17,6 +17,7 @@
 //! lines are *silent* (core-valid bits and directory state go stale exactly
 //! as on hardware), dirty demotions write back.
 
+use crate::batch::{Access, AccessOp, Issue};
 use crate::system::System;
 use hswx_engine::{SimDuration, SimTime};
 use hswx_mem::{CoreId, LineAddr};
@@ -59,10 +60,8 @@ impl Placement {
         level: Level,
         t0: SimTime,
     ) -> SimTime {
-        let mut t = t0;
-        for &l in lines {
-            t = sys.write(core, l, t).done;
-        }
+        let mut accs: Vec<Access> = lines.iter().map(|&l| Access::write(core, l)).collect();
+        let t = Self::run_chain(sys, &mut accs, t0);
         Self::demote(sys, core, lines, level, t)
     }
 
@@ -74,16 +73,15 @@ impl Placement {
         level: Level,
         t0: SimTime,
     ) -> SimTime {
-        let mut t = t0;
-        for &l in lines {
-            t = sys.write(core, l, t).done;
-        }
-        for &l in lines {
-            t = sys.flush(core, l, t);
-        }
-        for &l in lines {
-            t = sys.read(core, l, t).done;
-        }
+        let mut accs: Vec<Access> = Vec::with_capacity(lines.len() * 3);
+        accs.extend(lines.iter().map(|&l| Access::write(core, l)));
+        accs.extend(
+            lines
+                .iter()
+                .map(|&l| Access { core, line: l, op: AccessOp::Flush, issue: Issue::AfterPrev }),
+        );
+        accs.extend(lines.iter().map(|&l| Access::read(core, l)));
+        let t = Self::run_chain(sys, &mut accs, t0);
         Self::demote(sys, core, lines, level, t)
     }
 
@@ -100,12 +98,12 @@ impl Placement {
         assert!(!cores.is_empty());
         // The first core caches the data in state Exclusive at the target
         // level (its copies remain, demoting to Shared as others read).
-        let mut t = Self::exclusive(sys, cores[0], lines, level, t0);
-        for &c in &cores[1..] {
-            for &l in lines {
-                t = sys.read(c, l, t).done;
-            }
-        }
+        let t = Self::exclusive(sys, cores[0], lines, level, t0);
+        let mut accs: Vec<Access> = cores[1..]
+            .iter()
+            .flat_map(|&c| lines.iter().map(move |&l| Access::read(c, l)))
+            .collect();
+        let t = Self::run_chain(sys, &mut accs, t);
         let mut t_end = t;
         for &c in cores {
             t_end = Self::demote(sys, c, lines, level, t_end);
@@ -127,6 +125,29 @@ impl Placement {
             PlacedState::Exclusive => Self::exclusive(sys, cores[0], lines, level, t0),
             PlacedState::Shared => Self::shared(sys, cores, lines, level, t0),
         }
+    }
+
+    /// Run a placement access chain through the batch engine: the first
+    /// access issues at `t0`, each later one the instant its predecessor
+    /// completed — exactly the sequential `write`/`flush`/`read` loops
+    /// this replaced, including their panic-on-protocol-error behavior.
+    ///
+    /// Long chains are submitted in [`BATCH_CHUNK`]-sized chunks, each
+    /// re-anchored at the previous chunk's completion time, so the reply
+    /// buffers stay LLC-resident however large the placed working set is.
+    fn run_chain(sys: &mut System, accs: &mut [Access], t0: SimTime) -> SimTime {
+        let mut t = t0;
+        for chunk in accs.chunks_mut(crate::batch::BATCH_CHUNK) {
+            chunk[0].issue = Issue::At(t);
+            let out = sys.run_batch(chunk);
+            for r in &out.replies {
+                if let Err(e) = r {
+                    panic!("simulation error: {}", e.diagnostic());
+                }
+            }
+            t = out.done;
+        }
+        t
     }
 
     /// Controlled demotion of `core`'s copies of `lines` down to `level`.

@@ -257,6 +257,15 @@ pub struct System {
     metrics: Option<std::sync::Arc<MetricsRegistry>>,
     /// `stats.snoops_sent` at walk start (snoop fan-out accounting).
     pub(crate) walk_snoop_base: u64,
+    /// Recycled peer-probe collection for node-level misses: taken at the
+    /// start of [`node_miss_read`](Self::node_miss_read), returned (cleared)
+    /// at its end, so steady-state long walks allocate nothing per miss.
+    /// Host-side scratch only — like `walk_snoop_base` it is excluded from
+    /// snapshots and never observable across walks.
+    probe_scratch: Vec<PeerProbe>,
+    /// SoA staging scratch for [`run_batch`](Self::run_batch); host-side
+    /// only, snapshot-excluded (see `crate::batch`).
+    pub(crate) batch_scratch: crate::batch::BatchScratch,
     /// Per-walk snoop fan-out tallies (index 8 = "8 or more"); local and
     /// unsynchronized, published to the registry when the system drops.
     pub(crate) fanout_bins: [u64; 9],
@@ -371,6 +380,8 @@ impl System {
             telemetry_hub: TelemetryHub::ambient(),
             metrics: MetricsRegistry::ambient(),
             walk_snoop_base: 0,
+            probe_scratch: Vec::new(),
+            batch_scratch: crate::batch::BatchScratch::default(),
             fanout_bins: [0; 9],
             stats: Stats::default(),
             recovery: RecoveryStats::default(),
@@ -1641,7 +1652,8 @@ impl System {
         self.tap_span::<TRACED>("cbo.tag_busy_ps", t_at_ca, t_miss);
         let all = self.all_nodes();
 
-        let mut probes: Vec<PeerProbe> = Vec::new();
+        let mut probes: Vec<PeerProbe> = std::mem::take(&mut self.probe_scratch);
+        probes.clear();
 
         // Source snooping: the CA broadcasts to every other node now.
         if self.proto.mode == SnoopMode::Source {
@@ -1888,7 +1900,27 @@ impl System {
             self.dir[ha.0 as usize].set(line, next);
         }
 
+        self.probe_scratch = probes;
         AccessOutcome { done, source }
+    }
+
+    /// Hint the host CPU to pull the simulator metadata a walk for
+    /// (`core`, `line`) will touch into its cache: the core's L1/L2 sets
+    /// and every node's L3 slice set for the line (peer probes peek the
+    /// remote slices too). Pure host-side hint — simulated state, timing,
+    /// and statistics are bit-for-bit unaffected. Issued by the batch
+    /// engine's staging pass a few accesses ahead of the walk loop, and
+    /// available to drivers (e.g. the workload proxies) whose dispatch
+    /// order is dynamic but whose next accesses are known early.
+    #[inline]
+    pub fn prefetch_access(&self, core: CoreId, line: LineAddr) {
+        let ci = core.0 as usize;
+        self.l1[ci].prefetch_set(line);
+        self.l2[ci].prefetch_set(line);
+        for n in self.topo.nodes() {
+            let slice = self.topo.slice_for_line(line, n);
+            self.l3[slice.0 as usize].prefetch_set(line);
+        }
     }
 
     // ------------------------------------------------------------------

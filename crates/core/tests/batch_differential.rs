@@ -1,0 +1,203 @@
+//! Property: the pipelined batch engine is bit-identical to sequential
+//! dispatch — random access batches × all three snoop modes.
+//!
+//! `System::run_batch` (SoA staging + lookahead prefetch) and
+//! `System::run_batch_seq` (plain dispatch loop, the differential
+//! reference) must produce identical replies, `Stats`, protocol
+//! transcripts, and `state_digest` — including batches containing
+//! faulted/recoverable walks, with the monitor on, and across a mid-batch
+//! snapshot/restore (the batch scratch is host-side only and must never
+//! leak into a frame).
+
+use hswx_engine::{SimDuration, SimTime};
+use hswx_haswell::{
+    Access, AccessOp, BatchOutcome, CoherenceMode, Issue, MonitorConfig, System, SystemConfig,
+};
+use hswx_mem::{CoreId, LineAddr};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (
+        prop_oneof![
+            Just(CoherenceMode::SourceSnoop),
+            Just(CoherenceMode::HomeSnoop),
+            Just(CoherenceMode::ClusterOnDie),
+        ],
+        2u8..=3,
+        prop_oneof![Just(8u32), Just(64), Just(1792)],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(mode, sockets, hitme_entries, hitme_enabled, prefetch)| {
+            SystemConfig {
+                sockets,
+                hitme_entries,
+                hitme_enabled,
+                prefetch,
+                ..SystemConfig::e5_8core(mode)
+            }
+        })
+}
+
+/// One raw batched op: (core selector, line selector, op kind, issue kind,
+/// issue delay selector).
+type RawOp = (u16, u64, u8, u8, u16);
+
+fn raw_ops(max: usize) -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec(
+        (any::<u16>(), any::<u64>(), 0u8..4, 0u8..3, any::<u16>()),
+        1..max,
+    )
+}
+
+/// Decode raw ops into a batch for a system with `cores` cores.
+fn build_batch(ops: &[RawOp], cores: u16) -> Vec<Access> {
+    ops.iter()
+        .map(|&(c, l, op, iss, d)| Access {
+            core: CoreId(c % cores),
+            line: LineAddr(l % 2048),
+            op: match op {
+                0 => AccessOp::Read,
+                1 => AccessOp::Write,
+                2 => AccessOp::WriteNt,
+                _ => AccessOp::Flush,
+            },
+            issue: match iss {
+                0 => Issue::AfterPrev,
+                1 => Issue::AfterPrevPlus(SimDuration::from_ns((d % 512) as f64)),
+                // Absolute issue times stay monotone-ish but include
+                // deliberate replays of earlier times.
+                _ => Issue::At(SimTime::ZERO + SimDuration::from_ns((d as f64) * 3.0)),
+            },
+        })
+        .collect()
+}
+
+/// Assert full observable equality between the batch-engine system and the
+/// sequential reference system.
+fn assert_twin_equal(
+    sys: &mut System,
+    twin: &mut System,
+    out_batch: &BatchOutcome,
+    out_seq: &BatchOutcome,
+) {
+    assert_eq!(out_batch, out_seq);
+    assert_eq!(sys.state_digest(), twin.state_digest());
+    // `Stats` holds deterministic-hash maps filled in identical order, so
+    // the Debug rendering is a faithful deep comparison.
+    assert_eq!(format!("{:?}", sys.stats), format!("{:?}", twin.stats));
+    assert_eq!(sys.recovery.clone(), twin.recovery.clone());
+    assert_eq!(sys.snapshot(), twin.snapshot());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline differential: any batch, any config, traced and
+    /// untraced, with and without the invariant monitor.
+    #[test]
+    fn run_batch_matches_sequential_dispatch(
+        cfg in config_strategy(),
+        ops in raw_ops(120),
+        traced in any::<bool>(),
+        monitored in any::<bool>(),
+    ) {
+        let mut sys = System::new(cfg.clone());
+        let mut twin = System::new(cfg);
+        if monitored {
+            sys.enable_monitor(MonitorConfig::default());
+            twin.enable_monitor(MonitorConfig::default());
+        }
+        if traced {
+            sys.trace_next();
+            twin.trace_next();
+        }
+        let batch = build_batch(&ops, sys.cfg.n_cores());
+        let out_batch = sys.run_batch(&batch);
+        let out_seq = twin.run_batch_seq(&batch);
+        if traced {
+            prop_assert_eq!(sys.take_trace(), twin.take_trace());
+        }
+        assert_twin_equal(&mut sys, &mut twin, &out_batch, &out_seq);
+    }
+
+    /// Batches containing faulted and recoverable walks: injected QPI CRC
+    /// errors, directory glitches, and HitME glitches must surface the same
+    /// `SimError`s in the same reply slots, and recovered walks must leave
+    /// both machines in the same state.
+    #[test]
+    fn faulted_batches_match_sequential_dispatch(
+        cfg in config_strategy(),
+        ops in raw_ops(80),
+        crc in 0u32..6,
+        dir_glitches in 0u32..4,
+        hitme_glitches in 0u32..4,
+    ) {
+        let mut sys = System::new(cfg.clone());
+        let mut twin = System::new(cfg);
+        sys.inject_qpi_crc(crc);
+        sys.inject_dir_glitch(dir_glitches);
+        sys.inject_hitme_glitch(hitme_glitches);
+        twin.inject_qpi_crc(crc);
+        twin.inject_dir_glitch(dir_glitches);
+        twin.inject_hitme_glitch(hitme_glitches);
+
+        let batch = build_batch(&ops, sys.cfg.n_cores());
+        let out_batch = sys.run_batch(&batch);
+        let out_seq = twin.run_batch_seq(&batch);
+        assert_twin_equal(&mut sys, &mut twin, &out_batch, &out_seq);
+    }
+
+    /// Regression for the batch engine's host-side scratch (`BatchScratch`,
+    /// `probe_scratch`, `walk_snoop_base`): none of it is simulated state,
+    /// so a kill-9-style snapshot taken *mid-batch* and restored on a cold
+    /// process must continue the batch bit-identically — and the frame
+    /// taken mid-batch must equal the frame of a machine that never batched
+    /// at all.
+    #[test]
+    fn mid_batch_snapshot_restore_is_bit_transparent(
+        cfg in config_strategy(),
+        ops in raw_ops(100),
+        split_sel in any::<u16>(),
+    ) {
+        let mut sys = System::new(cfg.clone());
+        let mut seq = System::new(cfg);
+        let batch = build_batch(&ops, sys.cfg.n_cores());
+        let split = 1 + (split_sel as usize) % batch.len();
+        let (head, tail) = batch.split_at(split);
+
+        // Run the head through the batch engine, snapshot "mid-batch"
+        // (scratch arrays still warm), and restore into a cold twin.
+        let head_out = sys.run_batch(head);
+        let frame = sys.snapshot();
+        let mut twin = System::restore(&frame).expect("restore");
+        prop_assert_eq!(twin.state_digest(), sys.state_digest());
+        // The restored twin re-encodes to the same bytes: no scratch leaked.
+        prop_assert_eq!(twin.snapshot(), frame);
+
+        // The sequential reference never saw the batch engine at all; its
+        // frame after the same head must be byte-identical.
+        let head_seq = seq.run_batch_seq(head);
+        prop_assert_eq!(&head_out, &head_seq);
+        prop_assert_eq!(seq.snapshot(), sys.snapshot());
+
+        // Continue the tail on all three machines. The `AfterPrev` chain
+        // re-anchors at the head's completion time on each.
+        if !tail.is_empty() {
+            let mut tail = tail.to_vec();
+            tail[0].issue = match tail[0].issue {
+                Issue::AfterPrev => Issue::At(head_out.done),
+                Issue::AfterPrevPlus(d) => Issue::At(head_out.done + d),
+                at => at,
+            };
+            let a = sys.run_batch(&tail);
+            let b = twin.run_batch(&tail);
+            let c = seq.run_batch_seq(&tail);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(&a, &c);
+            prop_assert_eq!(twin.state_digest(), sys.state_digest());
+            prop_assert_eq!(seq.state_digest(), sys.state_digest());
+            prop_assert_eq!(twin.snapshot(), sys.snapshot());
+        }
+    }
+}

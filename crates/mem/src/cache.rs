@@ -41,6 +41,32 @@ pub enum Replacement {
     Random,
 }
 
+/// Match mask over `tags`: bit `i` is set when `tags[i] == tag`.
+///
+/// The compares run branchlessly in chunks of four `u64`s — one AVX2
+/// `vpcmpeqq` per chunk under autovectorization — with a short scalar
+/// tail for the remainder. Callers only hand in the *occupied* span of a
+/// set, so stale tags past `occ` can never produce a false match.
+#[inline]
+fn probe_mask(tags: &[u64], tag: u64) -> u32 {
+    debug_assert!(tags.len() <= 32);
+    let mut mask = 0u32;
+    let mut i = 0;
+    while i + 4 <= tags.len() {
+        let m = u32::from(tags[i] == tag)
+            | u32::from(tags[i + 1] == tag) << 1
+            | u32::from(tags[i + 2] == tag) << 2
+            | u32::from(tags[i + 3] == tag) << 3;
+        mask |= m << i;
+        i += 4;
+    }
+    while i < tags.len() {
+        mask |= u32::from(tags[i] == tag) << i;
+        i += 1;
+    }
+    mask
+}
+
 /// A set-associative cache indexed by [`LineAddr`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SetAssocCache<S> {
@@ -154,7 +180,27 @@ impl<S> SetAssocCache<S> {
 
     /// Set-relative slot holding the smallest LRU tick of a full set.
     /// Ticks are unique, so this matches the old per-set `min_by_key`.
+    ///
+    /// Branchless select form: the strict `<` keeps the *first* minimum
+    /// exactly like [`Self::min_lru_slot_scalar`], but compiles to
+    /// conditional moves instead of a data-dependent branch per way.
     fn min_lru_slot(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let occ = self.occ[set] as usize;
+        let mut best = 0usize;
+        let mut best_lru = u64::MAX;
+        for (i, &l) in self.lru[base..base + occ].iter().enumerate() {
+            let better = l < best_lru;
+            best = if better { i } else { best };
+            best_lru = if better { l } else { best_lru };
+        }
+        best
+    }
+
+    /// The original early-exit-branch argmin, kept as the differential
+    /// reference for [`Self::min_lru_slot`].
+    #[cfg(test)]
+    fn min_lru_slot_scalar(&self, set: usize) -> usize {
         let base = set * self.ways;
         let occ = self.occ[set] as usize;
         let mut best = 0usize;
@@ -196,16 +242,83 @@ impl<S> SetAssocCache<S> {
         }
     }
 
-    /// Absolute slot of `line` within `set`, if resident: one linear scan
-    /// over the packed tag array.
+    /// Absolute slot of `line` within `set`, if resident.
+    ///
+    /// The probe compares the whole occupied span of the packed tag array
+    /// at once via [`probe_mask`] — chunked branchless `u64` equality the
+    /// autovectorizer lowers to `vpcmpeqq` — and picks the lowest set bit,
+    /// which is exactly the first-match index the early-exit scalar scan
+    /// ([`Self::find_scalar`], the differential reference) returns.
     #[inline]
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let occ = self.occ[set] as usize;
+        let mask = probe_mask(&self.tags[base..base + occ], tag);
+        if mask == 0 {
+            None
+        } else {
+            Some(base + mask.trailing_zeros() as usize)
+        }
+    }
+
+    /// The original early-exit linear probe, kept as the differential
+    /// reference for the chunked [`Self::find`].
+    #[cfg(test)]
+    fn find_scalar(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.ways;
         let occ = self.occ[set] as usize;
         self.tags[base..base + occ]
             .iter()
             .position(|&t| t == tag)
             .map(|i| base + i)
+    }
+
+    /// Probe residency for a whole batch of lines in one pass, appending
+    /// one `bool` per line to `out`. Never touches LRU/PLRU state — this
+    /// is the staging-pass primitive the batch walk engine uses to
+    /// classify pending accesses per level before walking them.
+    pub fn contains_batch(&self, lines: &[LineAddr], out: &mut Vec<bool>) {
+        out.reserve(lines.len());
+        for &line in lines {
+            out.push(self.find(self.set_of(line), line.0).is_some());
+        }
+    }
+
+    /// Hint the host CPU to pull `line`'s set metadata (tags, LRU ticks,
+    /// payloads, occupancy, PLRU bits) into its cache ahead of an
+    /// upcoming probe.
+    ///
+    /// Semantically a no-op — nothing is read or written, so a prefetched
+    /// walk is bit-identical to an unprefetched one. The batch engine's
+    /// staging pass issues these across independent pending walks: a
+    /// long-walk set probe is otherwise a dependent chain of cold host
+    /// loads over ~24 slice-sized arrays, and overlapping those misses is
+    /// where most of the batch throughput comes from.
+    #[inline]
+    pub fn prefetch_set(&self, line: LineAddr) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let set = self.set_of(line);
+            let base = set * self.ways;
+            unsafe {
+                // A 20-way tag span is 160 bytes: touch every host line
+                // of it, plus the first line of each parallel array.
+                let tags = self.tags.as_ptr().add(base) as *const i8;
+                let tag_bytes = self.ways * core::mem::size_of::<u64>();
+                let mut off = 0;
+                while off < tag_bytes {
+                    _mm_prefetch::<_MM_HINT_T0>(tags.add(off));
+                    off += 64;
+                }
+                _mm_prefetch::<_MM_HINT_T0>(self.lru.as_ptr().add(base) as *const i8);
+                _mm_prefetch::<_MM_HINT_T0>(self.states.as_ptr().add(base) as *const i8);
+                _mm_prefetch::<_MM_HINT_T0>(self.occ.as_ptr().add(set) as *const i8);
+                _mm_prefetch::<_MM_HINT_T0>(self.plru.as_ptr().add(set) as *const i8);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line;
     }
 
     fn bump(&mut self) -> u64 {
@@ -1063,6 +1176,51 @@ mod proptests {
             for l in resident {
                 prop_assert!(c.contains(l));
             }
+        }
+
+        /// The chunked SIMD-friendly probe and the branchless argmin agree
+        /// with their retained scalar references on every set, at every
+        /// point of a random operation stream, across way counts that
+        /// exercise both the 4-wide chunks and the scalar tail.
+        #[test]
+        fn simd_probe_matches_scalar_reference(
+            ways_sel in 0u8..5,
+            ops in proptest::collection::vec((0u64..96, any::<bool>()), 1..300),
+            probes in proptest::collection::vec(0u64..96, 1..50),
+        ) {
+            // 4 sets with 2 / 3 / 5 / 8 / 20 ways (20 = the L3 slice shape).
+            let ways = [2u32, 3, 5, 8, 20][ways_sel as usize];
+            let geom = CacheGeometry::new(4 * ways as u64 * 64, ways);
+            let mut c: SetAssocCache<u32> = SetAssocCache::new(geom);
+            for (i, &(line, is_insert)) in ops.iter().enumerate() {
+                if is_insert {
+                    c.insert(LineAddr(line), i as u32);
+                } else {
+                    c.access(LineAddr(line));
+                }
+            }
+            for set in 0..4usize {
+                for &p in &probes {
+                    prop_assert_eq!(
+                        c.find(set, p),
+                        c.find_scalar(set, p),
+                        "find diverged: set {} tag {}", set, p
+                    );
+                }
+                if c.occ[set] > 0 {
+                    prop_assert_eq!(
+                        c.min_lru_slot(set),
+                        c.min_lru_slot_scalar(set),
+                        "argmin diverged on set {}", set
+                    );
+                }
+            }
+            // Batch probe agrees with one-at-a-time contains().
+            let lines: Vec<LineAddr> = probes.iter().map(|&p| LineAddr(p)).collect();
+            let mut flags = Vec::new();
+            c.contains_batch(&lines, &mut flags);
+            let expect: Vec<bool> = lines.iter().map(|&l| c.contains(l)).collect();
+            prop_assert_eq!(flags, expect);
         }
 
         /// Full-API differential against the retained nested-Vec reference

@@ -50,6 +50,31 @@ struct ThreadState {
     rng: DetRng,
     seq: usize,
     done: SimTime,
+    /// The thread's next access, pre-drawn so the batch engine's staging
+    /// layer can prefetch its simulator metadata while other threads
+    /// dispatch. Drawing early is invisible: the RNG is per-thread, so
+    /// the draw sequence each thread sees is unchanged.
+    next: Option<(LineAddr, bool)>,
+}
+
+impl ThreadState {
+    /// Draw the thread's next access class (advances `seq` and the RNG
+    /// exactly like the old in-loop selection).
+    fn draw_next(&mut self, app: &AppProxy, shared: &[LineAddr]) -> (LineAddr, bool) {
+        self.seq += 1;
+        let r = self.rng.unit();
+        if r < app.sharing && !shared.is_empty() {
+            let l = shared[self.rng.below(shared.len() as u64) as usize];
+            (l, self.rng.chance(app.write_frac))
+        } else if self.rng.chance(app.locality) {
+            // Local streaming-ish access.
+            let l = self.local.lines[self.seq % self.local.lines.len()];
+            (l, self.rng.chance(app.write_frac))
+        } else {
+            let l = self.remote.lines[self.seq % self.remote.lines.len()];
+            (l, false)
+        }
+    }
 }
 
 /// Run `app` under `mode` with `accesses` memory operations per thread;
@@ -97,8 +122,19 @@ pub fn run_proxy(app: &AppProxy, mode: CoherenceMode, accesses: usize, seed: u64
             rng: root.fork(i as u64),
             seq: i * 17,
             done: t0,
+            next: None,
         })
         .collect();
+    // Pre-draw (and prefetch) every thread's first access: up to one
+    // pending access per core is known at any moment, and staging them
+    // ahead overlaps the host-memory stalls of consecutive dispatches.
+    for th in threads.iter_mut() {
+        if th.remaining > 0 {
+            let (line, w) = th.draw_next(app, &shared);
+            th.next = Some((line, w));
+            sys.prefetch_access(th.core, line);
+        }
+    }
 
     // Interleave threads in global time order.
     loop {
@@ -114,21 +150,7 @@ pub fn run_proxy(app: &AppProxy, mode: CoherenceMode, accesses: usize, seed: u64
         let Some((i, _)) = best else { break };
         let th = &mut threads[i];
         th.remaining -= 1;
-        th.seq += 1;
-
-        // Choose the access class.
-        let r = th.rng.unit();
-        let (line, is_write) = if r < app.sharing && !shared.is_empty() {
-            let l = shared[th.rng.below(shared.len() as u64) as usize];
-            (l, th.rng.chance(app.write_frac))
-        } else if th.rng.chance(app.locality) {
-            // Local streaming-ish access.
-            let l = th.local.lines[th.seq % th.local.lines.len()];
-            (l, th.rng.chance(app.write_frac))
-        } else {
-            let l = th.remote.lines[th.seq % th.remote.lines.len()];
-            (l, false)
-        };
+        let (line, is_write) = th.next.take().expect("pre-drawn access");
 
         let slot = th.window.wait_for_slot(th.issue_t);
         let out = if is_write {
@@ -139,6 +161,11 @@ pub fn run_proxy(app: &AppProxy, mode: CoherenceMode, accesses: usize, seed: u64
         th.window.occupy_until(out.done);
         th.issue_t = slot + SimDuration::from_ns(app.comp_ns.max(0.4));
         th.done = th.done.max(out.done);
+        if th.remaining > 0 {
+            let (l, w) = th.draw_next(app, &shared);
+            th.next = Some((l, w));
+            sys.prefetch_access(th.core, l);
+        }
     }
 
     let end = threads.iter().map(|t| t.done).max().unwrap_or(t0);
