@@ -31,7 +31,7 @@ USAGE:
   hswx campaign  [--out DIR] [--journal FILE] [--resume] [--fsync] [--seed N]
                  [--jobs a,b,..] [--attempts N] [--deadline-ms N]
                  [--time-budget-ms N] [--degraded] [--metrics-json FILE]
-                 [--telemetry BASE]
+                 [--telemetry BASE] [--threads N]
                  (supervised figure/table regeneration: dependency-aware
                   job queue with watchdog deadlines, bounded retry, and a
                   crash-safe journal; --resume skips journaled jobs;
@@ -39,20 +39,28 @@ USAGE:
                   --telemetry samples simulated-time series per job and
                   writes the merged profile to BASE.csv and BASE.om)
   hswx perfbench [--quick] [--baseline FILE] [--write-baseline] [--out FILE]
-                 [--tolerance PCT] [--history FILE] [--no-history]
-                 (host-throughput walk kernels — sequential and
-                  batch-engine variants (mem_walk_batch, placement_l3_batch)
-                  — vs the committed BENCH_perf.json; exits nonzero on a
-                  regression; every run appends a dated, git-sha-stamped
-                  entry to BENCH_history.jsonl unless --no-history)
+                 [--tolerance PCT] [--history FILE] [--no-history] [--threads N]
+                 (host-throughput walk kernels — sequential, batch-engine
+                  (mem_walk_batch, placement_l3_batch), and sharded
+                  (mem_walk_shard1/2/8) variants — vs the committed
+                  BENCH_perf.json; exits nonzero on a regression; every
+                  run appends a dated, git-sha-stamped entry to
+                  BENCH_history.jsonl unless --no-history; --threads adds
+                  an ungated sharded probe at N worker threads)
   hswx soak      [--budget 60s|1500ms|N] [--seed N] [--out DIR] [--report FILE]
-                 [--metrics-json FILE]
+                 [--metrics-json FILE] [--scenario mixed|shard-chaos]
+                 [--threads N]
                  (randomized chaos soak: mixed walks + recoverable fault
                   injection + mid-stream snapshot/restore round-trips +
                   cancellation storms under the strict monitor for a
                   wall-clock budget; exits nonzero on any violation or
                   snapshot mismatch; --out keeps failing snapshot pairs,
-                  --report writes the JSON soak report)
+                  --report writes the JSON soak report; --scenario
+                  shard-chaos stresses the sharded parallel runtime —
+                  killed shards, watchdog deadlines, cancellation — and
+                  requires every recovery to stay bit-identical;
+                  --threads pins the shard worker count, validated
+                  through the typed config boundary)
   hswx trace     [latency flags] [--accesses N] [--out FILE]
                  (run a placed-state scenario with the span tracer armed:
                   writes Chrome/Perfetto trace-event JSON and prints a
@@ -79,6 +87,7 @@ EXAMPLES:
   hswx campaign --out results --resume --metrics-json results/metrics.json
   hswx campaign --out results --telemetry results/telemetry
   hswx soak --budget 60s --seed 7 --report soak.json
+  hswx soak --budget 30s --scenario shard-chaos --threads 8
   hswx top --dir results
   hswx explain diff runA/metrics.json runB/metrics.json
   hswx perfbench --quick";
@@ -122,6 +131,17 @@ fn placers_of(flags: &Flags) -> Result<Vec<CoreId>, String> {
                 .map_err(|_| format!("bad core id in --placer: {s}"))
         })
         .collect()
+}
+
+/// Parse and validate `--threads` through the typed config boundary
+/// ([`hswx_haswell::ShardConfig::validate`]), so every subcommand
+/// rejects bad counts with the same `ConfigError::Threads` message
+/// instead of an ad-hoc string. `None` when the flag is absent.
+fn threads_of(flags: &Flags) -> Result<Option<usize>, String> {
+    let Some(v) = flags.map_get("threads") else { return Ok(None) };
+    let n: usize = v.parse().map_err(|_| format!("bad value for --threads: {v}"))?;
+    hswx_haswell::ShardConfig::with_threads(n).validate().map_err(|e| e.to_string())?;
+    Ok(Some(n))
 }
 
 fn default_size(level: Level) -> u64 {
@@ -604,6 +624,9 @@ pub fn campaign(argv: &[String]) -> Result<(), String> {
     };
     let telemetry_base = flags.map_get("telemetry").map(str::to_string);
     cfg.telemetry = telemetry_base.is_some();
+    if let Some(n) = threads_of(&flags)? {
+        cfg.threads = n;
+    }
     cfg.seed = flags.get_parse("seed", cfg.seed)?;
     cfg.max_attempts = flags.get_parse("attempts", cfg.max_attempts)?;
     if cfg.max_attempts == 0 {
@@ -732,10 +755,17 @@ fn budget_of(s: &str) -> Result<std::time::Duration, String> {
 pub fn soak(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv, &[])?;
     let budget = budget_of(flags.get("budget", "30s"))?;
+    let scenario = match flags.map_get("scenario") {
+        Some(name) => hswx_verify::SoakScenario::from_name(name)
+            .ok_or_else(|| format!("unknown --scenario {name} (mixed|shard-chaos)"))?,
+        None => hswx_verify::SoakScenario::Mixed,
+    };
     let cfg = hswx_verify::SoakConfig {
         budget,
         seed: flags.get_parse("seed", 0xC0FFEEu64)?,
         out_dir: flags.map_get("out").map(std::path::PathBuf::from),
+        scenario,
+        threads: threads_of(&flags)?,
     };
     let report = hswx_verify::run_soak(&cfg);
     print!("{report}");
@@ -785,6 +815,18 @@ pub fn perfbench(argv: &[String]) -> Result<(), String> {
     eprintln!("running {} perfbench suite...", if quick { "quick" } else { "full" });
     let report = hswx_bench::perf::run(quick);
     print!("{}", report.to_text());
+
+    // Focused sharded-walk probe at an arbitrary (validated) thread
+    // count. Informational only: the baseline gate tracks the fixed
+    // 1/2/8-thread kernels, so an unusual probe can't fail CI.
+    if let Some(n) = threads_of(&flags)? {
+        let iters = if quick { 20_000 } else { 200_000 };
+        let k = hswx_bench::perf::shard_probe(n, iters);
+        println!(
+            "  probe {:>22} {:>12.0} walks/s ({} walks, {n} threads, ungated)",
+            k.name, k.walks_per_sec, k.walks
+        );
+    }
 
     // Append a dated, sha-stamped JSONL entry so walks/sec is queryable
     // over time, not just gated against the last committed baseline.

@@ -128,6 +128,16 @@ pub fn render_frame(hb: &Heartbeat, history: &History, plain: bool) -> String {
         }
     }
     s.push('\n');
+    // Shard health — only sharded drivers emit these keys, so the line
+    // never clutters single-lane campaigns.
+    if hb.shards > 0 || hb.shard_restarts > 0 {
+        s.push_str(&format!(
+            "  shards: {} lanes, {} restart{} recovered\n",
+            hb.shards,
+            hb.shard_restarts,
+            if hb.shard_restarts == 1 { "" } else { "s" },
+        ));
+    }
     if !hb.metrics.is_empty() {
         s.push_str("  component activity (per poll):\n");
         for (name, total) in &hb.metrics {
@@ -223,5 +233,17 @@ mod tests {
         let out = render_frame(&h, &History::default(), true);
         assert!(out.contains("7 rounds"), "{out}");
         assert!(!out.contains('/'), "{out}");
+    }
+
+    #[test]
+    fn shard_health_line_appears_only_for_sharded_drivers() {
+        let mut h = Heartbeat::start("soak", 0);
+        h.done = 3;
+        let out = render_frame(&h, &History::default(), true);
+        assert!(!out.contains("shards:"), "{out}");
+        h.shards = 2;
+        h.shard_restarts = 1;
+        let out = render_frame(&h, &History::default(), true);
+        assert!(out.contains("shards: 2 lanes, 1 restart recovered"), "{out}");
     }
 }

@@ -1,0 +1,558 @@
+//! Sharded batch runtime: per-NUMA-node fault domains under supervision.
+//!
+//! [`System::run_batch_sharded`] splits a batch across one shard per
+//! NUMA node (each access belongs to the shard of its issuing core) and
+//! runs the batch in two phases:
+//!
+//! 1. **Supervised parallel planning** — each shard, executing under the
+//!    engine's shard supervisor (`hswx_engine::shard`: `catch_unwind`
+//!    isolation, watchdog deadlines on the `CancelToken` machinery,
+//!    bounded queues with deterministic backpressure, and
+//!    restart-from-snapshot recovery), resolves its accesses' topology
+//!    and exchanges typed [`CoherenceMsg`] traffic with its peers: a
+//!    snoop probe to every peer node (which answers by staging the
+//!    probed line's slice on *its* node — the distributed equivalent of
+//!    the flat staging pass in [`crate::batch`]), a request to the home
+//!    agent's shard when the line's home is remote, and the home
+//!    shard's fill + QPI transfer on the return path.
+//! 2. **Deterministic merge + sequential dispatch** — the per-shard
+//!    staging fragments are merged by `(access, node)` key into the
+//!    same SoA table the flat pass builds, then the batch runs through
+//!    the *unmodified* prefetching dispatch loop.
+//!
+//! Determinism contract: phase 1 reads only the immutable topology and
+//! the access list — never mutable simulated state — and its merge is
+//! keyed, not ordered; phase 2 is the sequential dispatch loop shared
+//! with [`System::run_batch`]. Every outcome, statistic, transcript,
+//! telemetry byte, and `state_digest` is therefore **bit-identical to
+//! [`System::run_batch_seq`] at any thread count** — including runs
+//! where injected shard panics, watchdog kills, or backpressure storms
+//! trigger the supervisor's recovery machinery, because recomputing a
+//! pure plan yields the same bytes. Only [`crate::RecoveryStats`]
+//! (`shard_restarts`, `shard_watchdog_kills`) and the returned
+//! [`ShardReport`] observe that recovery happened. The differential
+//! proptests in `tests/shard_differential.rs` and the thread-matrix
+//! golden harness in `tests/shard_golden.rs` pin all of this.
+
+use crate::batch::{Access, AccessOp, BatchOutcome};
+use crate::config::{ConfigError, MAX_SHARD_THREADS};
+use crate::error::SimError;
+use crate::system::System;
+use hswx_coherence::CoherenceMsg;
+use hswx_engine::shard::{
+    run_shards, Envelope, QueuePolicy, RoundCtx, RoundError, ShardId, ShardPolicy, ShardReport,
+    ShardWorker,
+};
+use hswx_engine::snapshot::{SnapReader, SnapWriter};
+use hswx_engine::{SimDuration, SimTime};
+use hswx_mem::{LineAddr, SliceId};
+use hswx_topology::SystemTopology;
+use std::time::Duration;
+
+/// Snapshot schema of a shard planner checkpoint frame.
+pub const SHARD_PLAN_SCHEMA: u32 = 1;
+
+/// Accesses each shard plans per round. Bounds round length (so
+/// watchdog deadlines and backpressure stalls have sub-batch
+/// granularity) and outbound channel occupancy.
+pub(crate) const PLAN_CHUNK: usize = 512;
+
+/// Nominal plan-level latency of a home-agent hop (fill scheduling in
+/// the message schedule; plan-level only — real walk timing comes from
+/// the dispatch phase).
+const PLAN_HOP: SimDuration = SimDuration::from_ps(50_000);
+
+/// Deterministic fault hooks for the sharded runtime, used by the
+/// faultcheck campaign, the chaos soak, and the differential tests.
+/// All hooks fire in the *planning* phase, which is recomputable, so an
+/// injected failure either heals bit-transparently (panic/stall with
+/// restart budget left) or aborts the whole batch with a typed
+/// [`SimError::ShardFailed`] before any dispatch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardFaultPlan {
+    /// Panic shard `.0` when it plans its `.1`-th local access — first
+    /// attempt only, so the supervisor's restart-from-snapshot heals it.
+    pub panic_at: Option<(u16, u32)>,
+    /// Stall this shard's first planning round until the watchdog kills
+    /// it (first attempt only). Requires a watchdog deadline.
+    pub stall_shard: Option<u16>,
+    /// Panic this shard on *every* attempt — deterministically exhausts
+    /// the restart budget into a typed failure.
+    pub poison_shard: Option<u16>,
+}
+
+impl ShardFaultPlan {
+    /// True when no fault hook is armed.
+    pub fn is_clean(&self) -> bool {
+        *self == ShardFaultPlan::default()
+    }
+}
+
+/// Configuration of one sharded batch run. `threads` crosses the
+/// hardened config boundary: CLI values are validated into a typed
+/// [`ConfigError`] before any shard spawns.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker threads executing shard rounds (capped at the shard
+    /// count, i.e. the NUMA-node count).
+    pub threads: usize,
+    /// Inter-shard channel bounds (soft stall + hard capacity).
+    pub queue: QueuePolicy,
+    /// Per-round wall-clock watchdog deadline per shard.
+    pub watchdog: Option<Duration>,
+    /// Shard restarts allowed before [`SimError::ShardFailed`].
+    pub max_restarts: u32,
+    /// Fault-injection hooks (campaigns/tests; default clean).
+    pub faults: ShardFaultPlan,
+}
+
+impl ShardConfig {
+    /// A config with `threads` workers and default supervision limits.
+    pub fn with_threads(threads: usize) -> Self {
+        ShardConfig {
+            threads,
+            queue: QueuePolicy::default(),
+            watchdog: None,
+            max_restarts: 3,
+            faults: ShardFaultPlan::default(),
+        }
+    }
+
+    /// Validate the thread count against the modelled range, in the
+    /// style of [`crate::SystemConfig::validate`]: a typed error naming
+    /// the field, never a panic or a silent clamp.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::Threads {
+                got: self.threads,
+                reason: "at least one worker thread is required",
+            });
+        }
+        if self.threads > MAX_SHARD_THREADS {
+            return Err(ConfigError::Threads {
+                got: self.threads,
+                reason: "above the 512-thread model cap",
+            });
+        }
+        if self.queue.capacity == 0 || self.queue.stall_at == 0 {
+            return Err(ConfigError::Threads {
+                got: self.threads,
+                reason: "shard queue bounds must be nonzero",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a sharded batch run: the batch outcome (bit-identical to
+/// the sequential path) plus the supervision report.
+#[derive(Debug, Clone)]
+pub struct ShardedBatch {
+    /// Per-access replies and chain completion time.
+    pub outcome: BatchOutcome,
+    /// Shard health, message-log digests, restart/stall accounting.
+    pub report: ShardReport,
+}
+
+/// One access owned by a shard: batch index plus the topology facts the
+/// planner needs (all immutable).
+#[derive(Debug, Clone, Copy)]
+struct PlanItem {
+    idx: u32,
+    line: LineAddr,
+    rfo: bool,
+}
+
+/// The per-NUMA-node planning worker (phase 1). Deterministic: state is
+/// a pure function of (work list, inbound envelopes), which is what
+/// makes restart-from-snapshot + replay bit-transparent.
+struct PlanWorker<'t> {
+    shard: ShardId,
+    topo: &'t SystemTopology,
+    work: Vec<PlanItem>,
+    /// Next unplanned index into `work`.
+    next: usize,
+    /// Staged `(access, node, slice)` fragments: own-node entries for
+    /// local accesses plus entries staged on behalf of inbound snoops.
+    staged: Vec<(u32, u8, u16)>,
+    /// Plan-level fills observed on the return path.
+    fills_seen: u64,
+    faults: ShardFaultPlan,
+}
+
+impl PlanWorker<'_> {
+    fn own_node(&self) -> hswx_mem::NodeId {
+        hswx_mem::NodeId(self.shard.0 as u8)
+    }
+
+    fn fault_matches(&self, shard: Option<u16>) -> bool {
+        shard == Some(self.shard.0)
+    }
+}
+
+impl ShardWorker for PlanWorker<'_> {
+    type Msg = CoherenceMsg;
+
+    fn round(
+        &mut self,
+        round: u64,
+        inbound: &[Envelope<CoherenceMsg>],
+        ctx: &mut RoundCtx<CoherenceMsg>,
+    ) -> Result<bool, RoundError> {
+        if self.fault_matches(self.faults.poison_shard) && !ctx.replaying() {
+            panic!("injected poison: shard {} fails on every attempt", self.shard.0);
+        }
+        if self.fault_matches(self.faults.stall_shard)
+            && round == 0
+            && ctx.attempt() == 0
+            && !ctx.replaying()
+        {
+            loop {
+                if ctx.should_abort() {
+                    return Err(RoundError::Cancelled);
+                }
+                std::hint::spin_loop();
+            }
+        }
+        let own = self.own_node();
+        let own_socket = self.topo.socket_of_node(own);
+        // Consume inbound coherence traffic.
+        for env in inbound {
+            match env.msg {
+                CoherenceMsg::Snoop { access, line, .. } => {
+                    // Peer-probe peek: stage where *this* node would
+                    // cache the probed line (the consumer owns its
+                    // node's slice table).
+                    let slice = self.topo.slice_for_line(line, own);
+                    self.staged.push((access, own.0, slice.0));
+                }
+                CoherenceMsg::HaRequest { access, line, from, .. } => {
+                    // This shard hosts the line's home agent: schedule
+                    // the data fill on the return path, plus the QPI
+                    // payload transfer when the requester is on another
+                    // socket.
+                    let at = env.at + PLAN_HOP;
+                    ctx.send(at, ShardId(u16::from(from.0)), CoherenceMsg::Fill {
+                        access,
+                        line,
+                        from: own,
+                        to: from,
+                    })?;
+                    let req_socket = self.topo.socket_of_node(from);
+                    if req_socket != own_socket {
+                        ctx.send(at, ShardId(u16::from(from.0)), CoherenceMsg::QpiTransfer {
+                            access,
+                            from: own_socket,
+                            to: req_socket,
+                            bytes: 64,
+                        })?;
+                    }
+                }
+                CoherenceMsg::Fill { .. } | CoherenceMsg::QpiTransfer { .. } => {
+                    self.fills_seen += 1;
+                }
+            }
+        }
+        // Plan a bounded chunk of local accesses, respecting
+        // deterministic backpressure.
+        let mut planned = 0usize;
+        while self.next < self.work.len() {
+            if planned >= PLAN_CHUNK || ctx.should_stall() {
+                if ctx.should_stall() {
+                    ctx.note_stall();
+                }
+                break;
+            }
+            if ctx.should_abort() {
+                return Err(RoundError::Cancelled);
+            }
+            if let Some((shard, nth)) = self.faults.panic_at {
+                if shard == self.shard.0
+                    && self.next as u32 == nth
+                    && ctx.attempt() == 0
+                    && !ctx.replaying()
+                {
+                    panic!("injected panic: shard {shard} at local access {nth}");
+                }
+            }
+            let item = self.work[self.next];
+            self.next += 1;
+            planned += 1;
+            let at = SimTime::from_ns(item.idx as f64);
+            // Own-node staging (the producer owns its slice table).
+            let slice = self.topo.slice_for_line(item.line, own);
+            self.staged.push((item.idx, own.0, slice.0));
+            // Snoop probe to every peer node's shard.
+            for peer in self.topo.nodes() {
+                if peer != own {
+                    ctx.send(at, ShardId(u16::from(peer.0)), CoherenceMsg::Snoop {
+                        access: item.idx,
+                        line: item.line,
+                        from: own,
+                        to: peer,
+                        rfo: item.rfo,
+                    })?;
+                }
+            }
+            // Remote home: request the line from its home agent's shard.
+            let home = self.topo.home_node_of_line(item.line);
+            if home != own {
+                ctx.send(at, ShardId(u16::from(home.0)), CoherenceMsg::HaRequest {
+                    access: item.idx,
+                    line: item.line,
+                    from: own,
+                    ha: self.topo.ha_for_line(item.line),
+                    rfo: item.rfo,
+                })?;
+            }
+        }
+        Ok(self.next == self.work.len())
+    }
+
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new(SHARD_PLAN_SCHEMA);
+        w.u64(self.next as u64);
+        w.u64(self.fills_seen);
+        w.seq(self.staged.len());
+        for &(access, node, slice) in &self.staged {
+            w.u32(access);
+            w.u8(node);
+            w.u16(slice);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r =
+            SnapReader::open_expecting(bytes, SHARD_PLAN_SCHEMA).map_err(|e| e.to_string())?;
+        let next = r.u64().map_err(|e| e.to_string())? as usize;
+        if next > self.work.len() {
+            return Err(format!(
+                "checkpoint progress {next} exceeds the shard's {} work items",
+                self.work.len()
+            ));
+        }
+        self.next = next;
+        self.fills_seen = r.u64().map_err(|e| e.to_string())?;
+        let n = r.seq(7, "staged fragments").map_err(|e| e.to_string())?;
+        self.staged.clear();
+        self.staged.reserve(n);
+        for _ in 0..n {
+            let access = r.u32().map_err(|e| e.to_string())?;
+            let node = r.u8().map_err(|e| e.to_string())?;
+            let slice = r.u16().map_err(|e| e.to_string())?;
+            self.staged.push((access, node, slice));
+        }
+        r.expect_end().map_err(|e| e.to_string())
+    }
+}
+
+impl System {
+    /// Run a batch through the supervised sharded runtime (see module
+    /// docs). Bit-identical to [`System::run_batch_seq`] at any thread
+    /// count, including under injected shard faults that trigger
+    /// restart-from-snapshot recovery; shard failures that exhaust the
+    /// recovery budget abort the batch with a typed
+    /// [`SimError::ShardFailed`] before any dispatch.
+    ///
+    /// `cfg` is assumed validated ([`ShardConfig::validate`]) at the
+    /// config boundary; out-of-range thread counts are clamped here as
+    /// defense in depth rather than trusted.
+    pub fn run_batch_sharded(
+        &mut self,
+        batch: &[Access],
+        cfg: &ShardConfig,
+    ) -> Result<ShardedBatch, SimError> {
+        let n_nodes = u16::from(self.topo.n_nodes());
+        let threads = cfg.threads.clamp(1, MAX_SHARD_THREADS);
+        // Partition accesses by the issuing core's NUMA node.
+        let mut parts: Vec<Vec<PlanItem>> = (0..n_nodes).map(|_| Vec::new()).collect();
+        for (i, a) in batch.iter().enumerate() {
+            let node = self.topo.node_of_core(a.core);
+            parts[node.0 as usize].push(PlanItem {
+                idx: i as u32,
+                line: a.line,
+                rfo: matches!(a.op, AccessOp::Write | AccessOp::WriteNt),
+            });
+        }
+        let policy = ShardPolicy {
+            threads,
+            queue: cfg.queue,
+            watchdog: cfg.watchdog,
+            max_restarts: cfg.max_restarts,
+            checkpoint_every: 2,
+        };
+        let topo = &self.topo;
+        let faults = cfg.faults;
+        let run = run_shards(n_nodes, &policy, |s: ShardId| PlanWorker {
+            shard: s,
+            topo,
+            work: parts[s.0 as usize].clone(),
+            next: 0,
+            staged: Vec::new(),
+            fills_seen: 0,
+            faults,
+        });
+        let (workers, report) = match run {
+            Ok(ok) => ok,
+            Err(f) => {
+                return Err(SimError::ShardFailed {
+                    shard: f.shard.0,
+                    kind: f.kind,
+                    restarts: f.restarts,
+                    detail: f.detail,
+                    transcript: Vec::new(),
+                });
+            }
+        };
+        let staged_lists: Vec<Vec<(u32, u8, u16)>> =
+            workers.into_iter().map(|w| w.staged).collect();
+        // Deterministic merge: fragments land at their (access, node)
+        // key, so arrival order cannot matter. Coverage is exact: the
+        // owning shard stages its node, every peer stages its own via
+        // the snoop broadcast.
+        let n_nodes = n_nodes as usize;
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        scratch.clear();
+        scratch.slices.resize(batch.len() * n_nodes, SliceId(0));
+        #[cfg(debug_assertions)]
+        let mut covered = vec![false; batch.len() * n_nodes];
+        for fragments in &staged_lists {
+            for &(access, node, slice) in fragments {
+                let at = access as usize * n_nodes + node as usize;
+                scratch.slices[at] = SliceId(slice);
+                #[cfg(debug_assertions)]
+                {
+                    covered[at] = true;
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            covered.iter().all(|&c| c),
+            "sharded staging left (access, node) cells unstaged"
+        );
+        self.batch_scratch = scratch;
+        // Recovery cost is host-side supervision bookkeeping — recorded
+        // in RecoveryStats (outside Stats) so recovered and clean runs
+        // still compare bit-identical.
+        self.recovery.shard_restarts += report.restarts;
+        self.recovery.shard_watchdog_kills += report.watchdog_kills;
+        // Phase 2: the unmodified sequential dispatch loop.
+        let outcome = self.run_batch_prefetched(batch);
+        Ok(ShardedBatch { outcome, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoherenceMode, SystemConfig};
+    use hswx_mem::CoreId;
+
+    fn batch(n: usize, cores: u16) -> Vec<Access> {
+        (0..n)
+            .map(|i| {
+                let core = CoreId((i as u16 * 7) % cores);
+                let line = LineAddr((i as u64 * 192) % (1 << 20));
+                if i % 3 == 0 {
+                    Access::write(core, line)
+                } else {
+                    Access::read(core, line)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threads_validation_is_typed() {
+        assert!(ShardConfig::with_threads(1).validate().is_ok());
+        assert!(ShardConfig::with_threads(8).validate().is_ok());
+        let zero = ShardConfig::with_threads(0).validate().unwrap_err();
+        assert!(matches!(zero, ConfigError::Threads { got: 0, .. }), "{zero}");
+        let absurd = ShardConfig::with_threads(100_000).validate().unwrap_err();
+        assert!(matches!(absurd, ConfigError::Threads { got: 100_000, .. }));
+        assert!(absurd.to_string().contains("threads: 100000"), "{absurd}");
+        let mut bad_queue = ShardConfig::with_threads(2);
+        bad_queue.queue.capacity = 0;
+        assert!(bad_queue.validate().is_err());
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_every_mode() {
+        for mode in CoherenceMode::all() {
+            let cfg = SystemConfig::e5_2680_v3(mode);
+            let b = batch(300, cfg.n_cores());
+            let mut seq = System::new(cfg.clone());
+            let want = seq.run_batch_seq(&b);
+            for threads in [1usize, 2, 8] {
+                let mut sys = System::new(cfg.clone());
+                let got = sys
+                    .run_batch_sharded(&b, &ShardConfig::with_threads(threads))
+                    .expect("clean sharded run");
+                assert_eq!(got.outcome, want, "mode {mode:?} threads {threads}");
+                assert_eq!(sys.state_digest(), seq.state_digest());
+                assert_eq!(sys.stats, seq.stats);
+                assert!(got.report.messages > 0, "shards must exchange traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_heals_bit_transparently() {
+        let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
+        let b = batch(200, cfg.n_cores());
+        let mut seq = System::new(cfg.clone());
+        let want = seq.run_batch_seq(&b);
+        let mut sys = System::new(cfg);
+        let mut scfg = ShardConfig::with_threads(2);
+        scfg.faults.panic_at = Some((1, 40));
+        let got = sys.run_batch_sharded(&b, &scfg).expect("panic must heal");
+        assert_eq!(got.outcome, want);
+        assert_eq!(sys.state_digest(), seq.state_digest());
+        assert_eq!(got.report.restarts, 1);
+        assert_eq!(sys.recovery.shard_restarts, 1);
+        assert_eq!(sys.recovery.shard_watchdog_kills, 0);
+    }
+
+    #[test]
+    fn poisoned_shard_is_a_contained_typed_error() {
+        let cfg = SystemConfig::e5_2680_v3(CoherenceMode::HomeSnoop);
+        let b = batch(120, cfg.n_cores());
+        let mut sys = System::new(cfg.clone());
+        let digest_before = sys.state_digest();
+        let mut scfg = ShardConfig::with_threads(2);
+        scfg.faults.poison_shard = Some(0);
+        scfg.max_restarts = 2;
+        let err = sys.run_batch_sharded(&b, &scfg).unwrap_err();
+        match &err {
+            SimError::ShardFailed { shard, restarts, .. } => {
+                assert_eq!(*shard, 0);
+                assert_eq!(*restarts, 2);
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+        // Contained: the batch aborted before dispatch, nothing leaked.
+        assert_eq!(sys.state_digest(), digest_before);
+        assert_eq!(sys.stats, crate::system::Stats::default());
+        // The same system runs the batch cleanly afterwards.
+        let clean = sys.run_batch_sharded(&b, &ShardConfig::with_threads(2)).unwrap();
+        let mut seq = System::new(cfg);
+        assert_eq!(clean.outcome, seq.run_batch_seq(&b));
+    }
+
+    #[test]
+    fn queue_storm_under_backpressure_stays_bit_identical() {
+        let cfg = SystemConfig::e5_2680_v3(CoherenceMode::ClusterOnDie);
+        let b = batch(400, cfg.n_cores());
+        let mut seq = System::new(cfg.clone());
+        let want = seq.run_batch_seq(&b);
+        let mut sys = System::new(cfg);
+        let mut scfg = ShardConfig::with_threads(8);
+        scfg.queue = QueuePolicy { capacity: 64, stall_at: 16 };
+        let got = sys.run_batch_sharded(&b, &scfg).expect("backpressure is not a failure");
+        assert!(got.report.stalls > 0, "tight queue must stall: {:?}", got.report);
+        assert_eq!(got.outcome, want);
+        assert_eq!(sys.state_digest(), seq.state_digest());
+    }
+}

@@ -42,7 +42,12 @@ use std::path::Path;
 /// v2 appended the optional telemetry-sampler section so a restored run
 /// continues its simulated-time series without double-counted or missing
 /// buckets.
-pub const SYSTEM_SNAPSHOT_SCHEMA: u32 = 2;
+///
+/// v3 appended the sharded-runtime recovery counters
+/// (`RecoveryStats::shard_restarts` / `shard_watchdog_kills`) so shard
+/// recovery cost survives snapshot/restore like every other recovery
+/// class.
+pub const SYSTEM_SNAPSHOT_SCHEMA: u32 = 3;
 
 fn corrupt(what: &'static str, detail: String) -> SnapshotError {
     SnapshotError::Corrupt { what, detail }
@@ -527,6 +532,8 @@ impl System {
         w.u64(self.recovery.dir_retries);
         w.u64(self.recovery.hitme_retries);
         w.u64(self.recovery.poison_blocked);
+        w.u64(self.recovery.shard_restarts);
+        w.u64(self.recovery.shard_watchdog_kills);
 
         // `walk_snoop_base` is deliberately absent: it is per-walk scratch
         // (every walk's prologue overwrites it) and snapshots are only
@@ -681,6 +688,8 @@ impl System {
         sys.recovery.dir_retries = r.u64()?;
         sys.recovery.hitme_retries = r.u64()?;
         sys.recovery.poison_blocked = r.u64()?;
+        sys.recovery.shard_restarts = r.u64()?;
+        sys.recovery.shard_watchdog_kills = r.u64()?;
 
         for b in sys.fanout_bins.iter_mut() {
             *b = r.u64()?;

@@ -54,7 +54,7 @@ impl AccessOutcome {
 }
 
 /// Event counters exposed by the system (the simulator's "uncore PMU").
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Completed reads per data source. Fx-hashed: bumped on every read.
     pub reads_by_source: FxHashMap<DataSource, u64>,
@@ -862,6 +862,8 @@ impl System {
         reg.add("recovery.dir_retries", self.recovery.dir_retries);
         reg.add("recovery.hitme_retries", self.recovery.hitme_retries);
         reg.add("recovery.poison_blocked", self.recovery.poison_blocked);
+        reg.add("recovery.shard_restarts", self.recovery.shard_restarts);
+        reg.add("recovery.shard_watchdog_kills", self.recovery.shard_watchdog_kills);
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,179 @@
+//! Property: the supervised sharded runtime is bit-identical to
+//! sequential dispatch — random batches × all three snoop modes ×
+//! 1/2/8 worker threads — including under injected protocol faults and
+//! injected shard crashes.
+//!
+//! `System::run_batch_sharded` partitions a batch into per-NUMA-node
+//! shards that exchange coherence messages through the supervised
+//! engine runtime, then dispatches through the same sequential loop as
+//! `run_batch_seq`. The planning phase reads only immutable topology,
+//! so replies, `Stats`, `state_digest`, and snapshots must all match
+//! the plain sequential reference exactly — at every thread count, with
+//! recoverable protocol transients armed, and with whole shards being
+//! panicked or watchdog-killed mid-plan.
+
+use hswx_engine::{SimDuration, SimTime};
+use hswx_haswell::{
+    Access, AccessOp, CoherenceMode, Issue, MonitorConfig, ShardConfig, ShardFaultPlan, System,
+    SystemConfig,
+};
+use hswx_mem::{CoreId, LineAddr};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (
+        prop_oneof![
+            Just(CoherenceMode::SourceSnoop),
+            Just(CoherenceMode::HomeSnoop),
+            Just(CoherenceMode::ClusterOnDie),
+        ],
+        prop_oneof![Just(8u32), Just(64), Just(1792)],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(mode, hitme_entries, hitme_enabled, prefetch)| SystemConfig {
+            hitme_entries,
+            hitme_enabled,
+            prefetch,
+            ..SystemConfig::e5_8core(mode)
+        })
+}
+
+/// One raw batched op: (core selector, line selector, op kind, issue
+/// kind, issue delay selector).
+type RawOp = (u16, u64, u8, u8, u16);
+
+fn raw_ops(max: usize) -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec(
+        (any::<u16>(), any::<u64>(), 0u8..4, 0u8..3, any::<u16>()),
+        1..max,
+    )
+}
+
+fn build_batch(ops: &[RawOp], cores: u16) -> Vec<Access> {
+    ops.iter()
+        .map(|&(c, l, op, iss, d)| Access {
+            core: CoreId(c % cores),
+            line: LineAddr(l % 2048),
+            op: match op {
+                0 => AccessOp::Read,
+                1 => AccessOp::Write,
+                2 => AccessOp::WriteNt,
+                _ => AccessOp::Flush,
+            },
+            issue: match iss {
+                0 => Issue::AfterPrev,
+                1 => Issue::AfterPrevPlus(SimDuration::from_ns((d % 512) as f64)),
+                _ => Issue::At(SimTime::ZERO + SimDuration::from_ns((d as f64) * 3.0)),
+            },
+        })
+        .collect()
+}
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline differential: any batch, any config, any thread
+    /// count — full observable equality with the sequential reference,
+    /// snapshots included.
+    #[test]
+    fn sharded_matches_sequential_dispatch(
+        cfg in config_strategy(),
+        ops in raw_ops(100),
+        threads_sel in 0usize..3,
+        monitored in any::<bool>(),
+    ) {
+        let mut sys = System::new(cfg.clone());
+        let mut twin = System::new(cfg);
+        if monitored {
+            sys.enable_monitor(MonitorConfig::default());
+            twin.enable_monitor(MonitorConfig::default());
+        }
+        let batch = build_batch(&ops, sys.cfg.n_cores());
+        let scfg = ShardConfig::with_threads(THREADS[threads_sel]);
+        let run = sys.run_batch_sharded(&batch, &scfg).expect("clean sharded batch");
+        let out_seq = twin.run_batch_seq(&batch);
+        prop_assert_eq!(&run.outcome, &out_seq);
+        prop_assert_eq!(sys.state_digest(), twin.state_digest());
+        prop_assert_eq!(&sys.stats, &twin.stats);
+        prop_assert_eq!(sys.recovery.clone(), twin.recovery.clone());
+        prop_assert_eq!(sys.snapshot(), twin.snapshot());
+    }
+
+    /// Recoverable protocol transients — QPI CRC replays, directory ECC
+    /// glitches, HitME SRAM glitches — armed identically on both
+    /// machines must surface the same errors in the same reply slots
+    /// and leave identical state, through the sharded path as through
+    /// the sequential one.
+    #[test]
+    fn faulted_batches_match_sequential_dispatch(
+        cfg in config_strategy(),
+        ops in raw_ops(80),
+        threads_sel in 0usize..3,
+        crc in 0u32..6,
+        dir_glitches in 0u32..4,
+        hitme_glitches in 0u32..4,
+    ) {
+        let mut sys = System::new(cfg.clone());
+        let mut twin = System::new(cfg);
+        sys.inject_qpi_crc(crc);
+        sys.inject_dir_glitch(dir_glitches);
+        sys.inject_hitme_glitch(hitme_glitches);
+        twin.inject_qpi_crc(crc);
+        twin.inject_dir_glitch(dir_glitches);
+        twin.inject_hitme_glitch(hitme_glitches);
+
+        let batch = build_batch(&ops, sys.cfg.n_cores());
+        let scfg = ShardConfig::with_threads(THREADS[threads_sel]);
+        let run = sys.run_batch_sharded(&batch, &scfg).expect("recoverable faults only");
+        let out_seq = twin.run_batch_seq(&batch);
+        prop_assert_eq!(&run.outcome, &out_seq);
+        prop_assert_eq!(sys.state_digest(), twin.state_digest());
+        prop_assert_eq!(&sys.stats, &twin.stats);
+        prop_assert_eq!(sys.recovery.clone(), twin.recovery.clone());
+    }
+
+    /// Supervision transparency: killing one shard mid-plan (panic or
+    /// watchdog stall) and letting restart-from-snapshot replay heal it
+    /// must not perturb a single observable bit of the result — only
+    /// the recovery counters may notice.
+    #[test]
+    fn killed_shards_recover_bit_identically(
+        cfg in config_strategy(),
+        ops in raw_ops(80),
+        threads_sel in 0usize..3,
+        target_sel in any::<u8>(),
+        by_watchdog in any::<bool>(),
+        kill_at in 0u32..8,
+    ) {
+        let mut sys = System::new(cfg.clone());
+        let mut twin = System::new(cfg);
+        let target = target_sel % sys.topo.n_nodes();
+        let mut scfg = ShardConfig::with_threads(THREADS[threads_sel]);
+        if by_watchdog {
+            scfg.faults = ShardFaultPlan { stall_shard: Some(target.into()), ..Default::default() };
+            scfg.watchdog = Some(Duration::from_millis(25));
+        } else {
+            scfg.faults =
+                ShardFaultPlan { panic_at: Some((target.into(), kill_at)), ..Default::default() };
+        }
+
+        let batch = build_batch(&ops, sys.cfg.n_cores());
+        let run = sys.run_batch_sharded(&batch, &scfg).expect("kill must heal, not fail");
+        let out_seq = twin.run_batch_seq(&batch);
+        // A watchdog stall always fires (every shard runs round 0); a
+        // panic fires only if the target shard owns enough local work.
+        if by_watchdog {
+            prop_assert!(run.report.watchdog_kills >= 1, "stall never tripped the watchdog");
+        }
+        prop_assert_eq!(&run.outcome, &out_seq);
+        prop_assert_eq!(sys.state_digest(), twin.state_digest());
+        prop_assert_eq!(&sys.stats, &twin.stats);
+        // Only the recovery ledger may differ, and only its shard rows.
+        prop_assert_eq!(sys.recovery.shard_restarts, run.report.restarts);
+        prop_assert_eq!(sys.recovery.shard_watchdog_kills, run.report.watchdog_kills);
+    }
+}

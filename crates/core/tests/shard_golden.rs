@@ -1,0 +1,180 @@
+//! Thread-matrix golden harness for the supervised sharded runtime.
+//!
+//! CI runs this test once per matrix leg with `HSWX_THREADS` set to 1,
+//! 2, and 8 (defaulting to 1 locally). Each leg drives a fixed
+//! deterministic workload battery — all three snoop modes, clean and
+//! with an injected shard kill — through `System::run_batch_sharded`
+//! at the selected thread count and checks every observable
+//! (`BatchOutcome`, `Stats`, `state_digest`) against an in-process
+//! sequential reference computed by `run_batch_seq`. Because the
+//! reference never changes with the thread count, three green legs
+//! prove the bit-identical-at-1/2/8 guarantee end to end.
+//!
+//! On divergence the test writes
+//! `$CARGO_TARGET_TMPDIR/shard-divergence-<threads>.txt` — per-shard
+//! inbound-message digests and rendered message-log tails from the
+//! supervision report — before failing, so the CI job can upload the
+//! file as an artifact and the mismatch can be triaged without
+//! reproducing the run.
+
+use hswx_engine::{SimDuration, SimTime};
+use hswx_haswell::{
+    Access, AccessOp, CoherenceMode, Issue, ShardConfig, ShardFaultPlan, ShardedBatch, System,
+    SystemConfig,
+};
+use hswx_mem::{CoreId, LineAddr};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Thread count under test, from the CI matrix.
+fn matrix_threads() -> usize {
+    match std::env::var("HSWX_THREADS") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("HSWX_THREADS must be a thread count, got {v:?}")),
+        Err(_) => 1,
+    }
+}
+
+/// Deterministic mixed batch: pseudo-random cores and ops over a
+/// footprint with enough reuse to exercise snoops, HA requests, fills,
+/// and QPI transfers across every shard.
+fn battery_batch(sys: &System, mode: CoherenceMode, ops: usize) -> Vec<Access> {
+    let n_cores = sys.cfg.n_cores() as u64;
+    let mut s: u64 = 0x9E3779B97F4A7C15 ^ mode as u64;
+    (0..ops)
+        .map(|i| {
+            // xorshift64
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            Access {
+                core: CoreId((s % n_cores) as u16),
+                line: LineAddr((s >> 24) % 4096),
+                op: match (s >> 40) % 8 {
+                    0..=3 => AccessOp::Read,
+                    4..=5 => AccessOp::Write,
+                    6 => AccessOp::WriteNt,
+                    _ => AccessOp::Flush,
+                },
+                issue: match i % 3 {
+                    0 => Issue::AfterPrev,
+                    1 => Issue::AfterPrevPlus(SimDuration::from_ns((s % 300) as f64)),
+                    _ => Issue::At(SimTime::ZERO + SimDuration::from_ns((i as f64) * 5.0)),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Render the supervision report's divergence diagnostics: one block
+/// per shard with its inbound-log digest and rendered envelope tail.
+fn diagnostics(leg: &str, threads: usize, run: &ShardedBatch, sys: &System, twin: &System) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "shard divergence: {leg} at {threads} thread(s)");
+    let _ = writeln!(
+        s,
+        "state_digest sharded={:#018x} sequential={:#018x}",
+        sys.state_digest(),
+        twin.state_digest()
+    );
+    let r = &run.report;
+    let _ = writeln!(
+        s,
+        "rounds={} messages={} stalls={} restarts={} watchdog_kills={} msg_log_digest={:#018x}",
+        r.rounds, r.messages, r.stalls, r.restarts, r.watchdog_kills, r.msg_log_digest
+    );
+    for h in &r.shards {
+        let _ = writeln!(
+            s,
+            "shard {}: inbound_digest={:#018x} sent={} received={} restarts={} \
+             watchdog_kills={} stalls={} replayed_rounds={}",
+            h.shard.0,
+            h.inbound_digest,
+            h.sent,
+            h.received,
+            h.restarts,
+            h.watchdog_kills,
+            h.stalls,
+            h.replayed_rounds
+        );
+        for line in &h.log_tail {
+            let _ = writeln!(s, "  {line}");
+        }
+    }
+    s
+}
+
+fn divergence_path(threads: usize) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("shard-divergence-{threads}.txt"))
+}
+
+/// Run one battery leg sharded-vs-sequential; on any observable
+/// mismatch, persist the diagnostics file and fail with its path.
+fn check_leg(leg: &str, mode: CoherenceMode, faults: ShardFaultPlan) {
+    let threads = matrix_threads();
+    let cfg = SystemConfig::e5_8core(mode);
+    let mut sys = System::new(cfg.clone());
+    let mut twin = System::new(cfg);
+    let batch = battery_batch(&sys, mode, 600);
+
+    let mut scfg = ShardConfig::with_threads(threads);
+    scfg.faults = faults;
+    if faults.stall_shard.is_some() {
+        scfg.watchdog = Some(std::time::Duration::from_millis(25));
+    }
+    let run = sys
+        .run_batch_sharded(&batch, &scfg)
+        .unwrap_or_else(|e| panic!("{leg}: sharded batch failed to recover: {e}"));
+    let want = twin.run_batch_seq(&batch);
+
+    let diverged =
+        run.outcome != want || sys.state_digest() != twin.state_digest() || sys.stats != twin.stats;
+    if diverged {
+        let path = divergence_path(threads);
+        let report = diagnostics(leg, threads, &run, &sys, &twin);
+        std::fs::write(&path, &report).expect("write divergence diagnostics");
+        panic!(
+            "{leg}: sharded run diverged from the sequential reference at \
+             {threads} thread(s); diagnostics written to {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn clean_battery_matches_sequential_golden() {
+    for mode in [
+        CoherenceMode::SourceSnoop,
+        CoherenceMode::HomeSnoop,
+        CoherenceMode::ClusterOnDie,
+    ] {
+        check_leg("clean", mode, ShardFaultPlan::default());
+    }
+}
+
+#[test]
+fn panicked_shard_battery_matches_sequential_golden() {
+    for mode in [
+        CoherenceMode::SourceSnoop,
+        CoherenceMode::HomeSnoop,
+        CoherenceMode::ClusterOnDie,
+    ] {
+        check_leg(
+            "panic-kill",
+            mode,
+            ShardFaultPlan { panic_at: Some((1, 3)), ..Default::default() },
+        );
+    }
+}
+
+#[test]
+fn watchdog_killed_shard_battery_matches_sequential_golden() {
+    // One mode is enough here: each leg pays a real >=25ms stall, and
+    // the panic battery above already covers restart replay per mode.
+    check_leg(
+        "watchdog-kill",
+        CoherenceMode::SourceSnoop,
+        ShardFaultPlan { stall_shard: Some(0), ..Default::default() },
+    );
+}

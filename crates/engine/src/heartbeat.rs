@@ -54,6 +54,10 @@ pub struct Heartbeat {
     pub retries: u64,
     /// Naive linear completion estimate, once `done > 0`.
     pub eta_ms: Option<u64>,
+    /// Shards the current work unit runs (0 = not a sharded driver).
+    pub shards: u64,
+    /// Cumulative shard restarts recovered so far (0 = none, omitted).
+    pub shard_restarts: u64,
     /// Cumulative counter totals, sorted by name.
     pub metrics: Vec<(String, u64)>,
 }
@@ -95,6 +99,14 @@ impl Heartbeat {
         if let Some(eta) = self.eta_ms {
             out.push_str(&format!("eta_ms={eta}\n"));
         }
+        // Shard keys are emitted only by sharded drivers, so heartbeats
+        // from single-lane runs stay byte-identical to the v1 layout.
+        if self.shards > 0 {
+            out.push_str(&format!("shards={}\n", self.shards));
+        }
+        if self.shard_restarts > 0 {
+            out.push_str(&format!("shard_restarts={}\n", self.shard_restarts));
+        }
         for (name, v) in &self.metrics {
             out.push_str(&format!("metric={name} {v}\n"));
         }
@@ -121,6 +133,8 @@ impl Heartbeat {
                 "jobs_inflight" => hb.inflight = v.parse().unwrap_or(0),
                 "retries" => hb.retries = v.parse().unwrap_or(0),
                 "eta_ms" => hb.eta_ms = v.parse().ok(),
+                "shards" => hb.shards = v.parse().unwrap_or(0),
+                "shard_restarts" => hb.shard_restarts = v.parse().unwrap_or(0),
                 "metric" => {
                     if let Some((name, val)) = v.split_once(' ') {
                         if let Ok(val) = val.parse() {
@@ -179,6 +193,17 @@ mod tests {
         assert_eq!(hb.kind, "soak");
         assert_eq!(hb.done, 2);
         assert!(hb.metrics.is_empty());
+    }
+
+    #[test]
+    fn shard_keys_roundtrip_and_are_omitted_when_zero() {
+        let mut hb = Heartbeat::start("soak", 4);
+        assert!(!hb.to_text().contains("shards="), "zero shard keys must be omitted");
+        hb.shards = 2;
+        hb.shard_restarts = 3;
+        let text = hb.to_text();
+        assert!(text.contains("shards=2") && text.contains("shard_restarts=3"), "{text}");
+        assert_eq!(Heartbeat::parse(&text).unwrap(), hb);
     }
 
     #[test]

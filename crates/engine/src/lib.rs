@@ -22,6 +22,10 @@
 //! * [`fsio`] — crash-consistent `atomic_write` (tmp + `rename`, optional
 //!   fsync) and the stable [`fnv1a64`] content digest used by campaign
 //!   journals and golden-outcome checks.
+//! * [`shard`] — supervised sharded execution: deterministic
+//!   message-passing rounds between per-shard fault domains, with
+//!   catch_unwind isolation, watchdog deadlines, bounded queues with
+//!   deterministic backpressure, and restart-from-checkpoint recovery.
 //! * [`snapshot`] — versioned, digest-framed binary snapshot codec
 //!   ([`SnapWriter`]/[`SnapReader`] + whole-or-absent snapshot files) that
 //!   full-state simulator snapshots and mid-job checkpoints build on.
@@ -44,6 +48,7 @@ pub mod metrics;
 pub mod queue;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
@@ -58,6 +63,10 @@ pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
 pub use resource::{ThroughputResource, TimedPool, TokenPool};
 pub use rng::DetRng;
+pub use shard::{
+    Envelope, QueuePolicy, RoundCtx, RoundError, ShardFailure, ShardFailureKind, ShardHealth,
+    ShardId, ShardMsg, ShardPolicy, ShardReport, ShardWorker,
+};
 pub use snapshot::{SnapReader, SnapWriter, SnapshotError};
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use telemetry::{TelemetryConfig, TelemetryHub, TelemetrySampler};

@@ -1,0 +1,976 @@
+//! Supervised sharded execution: deterministic message-passing rounds
+//! with per-shard fault domains.
+//!
+//! A sharded computation splits its work across [`ShardId`]-indexed
+//! workers that may only interact by exchanging typed messages through
+//! the supervisor's bounded queues. Execution proceeds in *rounds*
+//! (bulk-synchronous): each round, every shard receives the envelopes
+//! addressed to it in the previous round — sorted by `(at, src, seq)`,
+//! a key containing no wall-clock component — does a slice of local
+//! work, and emits new envelopes. The supervisor routes outbound
+//! messages at the round barrier in shard-id order, so the delivered
+//! sequence every worker observes is a pure function of the workers'
+//! own (deterministic) emissions, never of thread scheduling.
+//!
+//! Three robustness mechanisms ride on that structure, and none of them
+//! can perturb results:
+//!
+//! * **Fault isolation** — each shard round runs under
+//!   [`std::panic::catch_unwind`]; a panic is confined to its shard.
+//! * **Watchdog deadlines** — each round execution carries a
+//!   [`CancelToken`] with an optional wall-clock deadline which the
+//!   worker polls ([`RoundCtx::should_abort`]); a stuck shard is killed
+//!   cooperatively and treated like a crash.
+//! * **Restart from snapshot** — after a panic or watchdog kill the
+//!   supervisor builds a *fresh* worker, restores its most recent
+//!   checkpoint frame ([`ShardWorker::checkpoint`], taken at round
+//!   boundaries), replays the inbound message log recorded since that
+//!   checkpoint, and re-runs the failed round. Because workers are
+//!   required to be deterministic functions of (checkpoint state,
+//!   inbound messages), the recovered shard produces byte-identical
+//!   output; only the restart counters observe that anything happened.
+//!   A shard that keeps failing past [`ShardPolicy::max_restarts`]
+//!   surfaces a typed [`ShardFailure`] instead of poisoning the run.
+//!
+//! Backpressure is deterministic by the same argument: outbound
+//! channels are cleared at every round barrier, so the occupancy a
+//! producer observes mid-round counts only its own emissions this
+//! round. [`RoundCtx::should_stall`] (soft limit — carry remaining work
+//! to the next round) and the hard [`QueuePolicy::capacity`] bound
+//! (fatal [`ShardFailureKind::QueueOverflow`] — retrying a
+//! deterministic overflow cannot succeed, so it fails fast) are pure
+//! functions of that occupancy.
+
+use crate::cancel::CancelToken;
+use crate::fsio::fnv1a64_extend;
+use crate::time::SimTime;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Identifies one shard (for the simulator: one NUMA node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u16);
+
+/// A message exchangeable between shards. `encode_into` feeds the
+/// message-log digests; `Debug` renders the diagnostic log tail.
+pub trait ShardMsg: Clone + Send + Sync + std::fmt::Debug {
+    /// Append a stable byte encoding of this message.
+    fn encode_into(&self, out: &mut Vec<u8>);
+}
+
+/// One delivered message: nominal simulated delivery time, sender, and
+/// the sender's per-run emission sequence number. Envelopes addressed
+/// to a shard are delivered sorted by `(at, src, seq)` — a fully
+/// deterministic key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Nominal simulated delivery time (plan-level, not wall clock).
+    pub at: SimTime,
+    /// Sending shard.
+    pub src: ShardId,
+    /// Sender's emission sequence number (monotone per shard).
+    pub seq: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+impl<M: ShardMsg> Envelope<M> {
+    fn fold_digest(&self, h: u64, scratch: &mut Vec<u8>) -> u64 {
+        scratch.clear();
+        scratch.extend_from_slice(&self.at.as_ns().to_bits().to_le_bytes());
+        scratch.extend_from_slice(&self.src.0.to_le_bytes());
+        scratch.extend_from_slice(&self.seq.to_le_bytes());
+        self.msg.encode_into(scratch);
+        fnv1a64_extend(h, scratch)
+    }
+}
+
+/// Bounds on one outbound inter-shard channel (per round — channels are
+/// cleared at every round barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Hard bound: a `send` that would exceed this occupancy is a fatal
+    /// [`ShardFailureKind::QueueOverflow`].
+    pub capacity: usize,
+    /// Soft backpressure threshold: [`RoundCtx::should_stall`] reports
+    /// true at this occupancy, telling the worker to defer remaining
+    /// local work to the next round.
+    pub stall_at: usize,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        QueuePolicy { capacity: 4096, stall_at: 3072 }
+    }
+}
+
+impl QueuePolicy {
+    /// Whether a producer at `occupancy` should stop producing this
+    /// round. Pure function of occupancy — never of wall-clock time.
+    pub fn would_stall(&self, occupancy: usize) -> bool {
+        occupancy >= self.stall_at
+    }
+}
+
+/// Why a shard was given up on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFailureKind {
+    /// The shard's round code panicked past the restart budget.
+    Panic,
+    /// The shard kept exceeding its watchdog deadline.
+    WatchdogKill,
+    /// An outbound channel exceeded its hard capacity bound — a
+    /// deterministic failure that a restart would reproduce, so it is
+    /// not retried.
+    QueueOverflow,
+}
+
+impl ShardFailureKind {
+    /// Stable lowercase name (report/CSV vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardFailureKind::Panic => "panic",
+            ShardFailureKind::WatchdogKill => "watchdog-kill",
+            ShardFailureKind::QueueOverflow => "queue-overflow",
+        }
+    }
+}
+
+/// A shard exhausted its recovery options; the sharded run is aborted
+/// with no partial effects (workers never touch shared state directly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFailure {
+    /// Which shard failed.
+    pub shard: ShardId,
+    /// Terminal failure class.
+    pub kind: ShardFailureKind,
+    /// Restarts attempted before giving up.
+    pub restarts: u32,
+    /// Rendered panic payload / overflow description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} failed ({}) after {} restart(s): {}",
+            self.shard.0,
+            self.kind.name(),
+            self.restarts,
+            self.detail
+        )
+    }
+}
+
+/// Supervision parameters for one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardPolicy {
+    /// Worker threads executing shard rounds (capped at the shard
+    /// count; 1 runs every round inline on the caller's thread).
+    pub threads: usize,
+    /// Inter-shard channel bounds.
+    pub queue: QueuePolicy,
+    /// Per-round wall-clock deadline for each shard execution; `None`
+    /// disables the watchdog.
+    pub watchdog: Option<Duration>,
+    /// Restarts allowed per shard before a typed [`ShardFailure`].
+    pub max_restarts: u32,
+    /// Checkpoint cadence in rounds (1 = every round boundary).
+    pub checkpoint_every: u64,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            threads: 1,
+            queue: QueuePolicy::default(),
+            watchdog: None,
+            max_restarts: 3,
+            checkpoint_every: 4,
+        }
+    }
+}
+
+/// A worker's round aborted without producing output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundError {
+    /// The watchdog token fired; the supervisor treats this as a kill
+    /// and restarts the shard from its last checkpoint.
+    Cancelled,
+    /// A send would exceed the hard channel capacity.
+    QueueOverflow {
+        /// Destination channel.
+        dst: ShardId,
+        /// Occupancy at the failed send.
+        occupancy: usize,
+    },
+}
+
+/// Per-round context handed to [`ShardWorker::round`]: outbound
+/// channels, backpressure queries, and the watchdog poll.
+pub struct RoundCtx<M> {
+    queue: QueuePolicy,
+    attempt: u32,
+    replaying: bool,
+    token: CancelToken,
+    polls: u32,
+    /// Outbound channels, one per destination shard, emission order.
+    outbound: Vec<Vec<(SimTime, M)>>,
+    stalls: u64,
+}
+
+impl<M: ShardMsg> RoundCtx<M> {
+    fn new(n_shards: u16, queue: QueuePolicy, attempt: u32, replaying: bool, token: CancelToken) -> Self {
+        RoundCtx {
+            queue,
+            attempt,
+            replaying,
+            token,
+            polls: 0,
+            outbound: (0..n_shards).map(|_| Vec::new()).collect(),
+            stalls: 0,
+        }
+    }
+
+    /// Which execution attempt of this round this is (0 = first try,
+    /// incremented per restart). Fault-injection hooks key off it so an
+    /// injected crash fires once and the restarted attempt runs clean.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// True while the supervisor is replaying logged inbound rounds to
+    /// rebuild a restarted shard (outbound messages are discarded —
+    /// the originals were already delivered).
+    pub fn replaying(&self) -> bool {
+        self.replaying
+    }
+
+    /// Emit a message for delivery to `dst` next round. Fails only on
+    /// hard capacity overflow.
+    pub fn send(&mut self, at: SimTime, dst: ShardId, msg: M) -> Result<(), RoundError> {
+        let ch = &mut self.outbound[dst.0 as usize];
+        if ch.len() >= self.queue.capacity {
+            return Err(RoundError::QueueOverflow { dst, occupancy: ch.len() });
+        }
+        ch.push((at, msg));
+        Ok(())
+    }
+
+    /// Deterministic backpressure query: true when any outbound channel
+    /// has reached the soft stall threshold this round. A stalling
+    /// worker should record it ([`Self::note_stall`]) and defer its
+    /// remaining local work to the next round.
+    pub fn should_stall(&self) -> bool {
+        self.outbound.iter().any(|ch| self.queue.would_stall(ch.len()))
+    }
+
+    /// Record one backpressure stall event.
+    pub fn note_stall(&mut self) {
+        self.stalls += 1;
+    }
+
+    /// Strided watchdog poll; workers must return
+    /// [`RoundError::Cancelled`] promptly when it reports true.
+    pub fn should_abort(&mut self) -> bool {
+        self.token.should_abort(&mut self.polls)
+    }
+}
+
+/// One shard of a supervised computation.
+///
+/// Implementations must be *deterministic*: the state after any prefix
+/// of rounds — and the messages emitted — may depend only on the
+/// constructor arguments, restored checkpoint, and the inbound
+/// envelopes, never on wall-clock time, thread identity, or attempt
+/// count (except via [`RoundCtx::attempt`] fault hooks, which must only
+/// *fail* differently, not succeed differently).
+pub trait ShardWorker: Send {
+    /// Inter-shard message type.
+    type Msg: ShardMsg;
+
+    /// Execute one round: consume this round's inbound envelopes, do a
+    /// bounded slice of local work (respecting
+    /// [`RoundCtx::should_stall`]), emit messages. Returns `Ok(true)`
+    /// once all local work is finished (the shard keeps receiving
+    /// rounds until the whole system quiesces).
+    fn round(
+        &mut self,
+        round: u64,
+        inbound: &[Envelope<Self::Msg>],
+        ctx: &mut RoundCtx<Self::Msg>,
+    ) -> Result<bool, RoundError>;
+
+    /// Encode the shard's progress at a round boundary (a snapshot
+    /// frame; see `hswx_engine::snapshot`).
+    fn checkpoint(&self) -> Vec<u8>;
+
+    /// Rebuild progress from a [`Self::checkpoint`] frame.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String>;
+}
+
+/// Per-shard health/recovery accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Which shard.
+    pub shard: ShardId,
+    /// Times this shard was rebuilt from checkpoint + replay.
+    pub restarts: u32,
+    /// Restarts caused by the watchdog (subset of `restarts`).
+    pub watchdog_kills: u32,
+    /// Backpressure stall events.
+    pub stalls: u64,
+    /// Messages emitted.
+    pub sent: u64,
+    /// Envelopes delivered to this shard.
+    pub received: u64,
+    /// Logged rounds replayed across all restarts.
+    pub replayed_rounds: u64,
+    /// FNV-1a digest over delivered envelopes in delivery order.
+    pub inbound_digest: u64,
+    /// Human-rendered tail of the most recently delivered envelopes
+    /// (divergence diagnostics).
+    pub log_tail: Vec<String>,
+}
+
+/// How many delivered envelopes each shard keeps rendered for the
+/// diagnostic log tail.
+pub const LOG_TAIL: usize = 8;
+
+/// Whole-run supervision report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Per-shard health, in shard-id order.
+    pub shards: Vec<ShardHealth>,
+    /// Rounds executed until quiescence.
+    pub rounds: u64,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Total backpressure stalls.
+    pub stalls: u64,
+    /// Total shard restarts.
+    pub restarts: u64,
+    /// Total watchdog kills.
+    pub watchdog_kills: u64,
+    /// Combined digest of every shard's inbound message log.
+    pub msg_log_digest: u64,
+}
+
+impl ShardReport {
+    fn from_states<W: ShardWorker>(states: &[ShardState<W>], rounds: u64) -> ShardReport {
+        let mut digest = crate::fsio::fnv1a64(b"hswx-shard-log");
+        for s in states {
+            digest = fnv1a64_extend(digest, &s.inbound_digest.to_le_bytes());
+        }
+        ShardReport {
+            shards: states
+                .iter()
+                .map(|s| ShardHealth {
+                    shard: s.shard,
+                    restarts: s.restarts,
+                    watchdog_kills: s.watchdog_kills,
+                    stalls: s.stalls,
+                    sent: s.sent,
+                    received: s.received,
+                    replayed_rounds: s.replayed_rounds,
+                    inbound_digest: s.inbound_digest,
+                    log_tail: s.log_tail.clone(),
+                })
+                .collect(),
+            rounds,
+            messages: states.iter().map(|s| s.sent).sum(),
+            stalls: states.iter().map(|s| s.stalls).sum(),
+            restarts: states.iter().map(|s| u64::from(s.restarts)).sum(),
+            watchdog_kills: states.iter().map(|s| u64::from(s.watchdog_kills)).sum(),
+            msg_log_digest: digest,
+        }
+    }
+}
+
+/// Supervisor-side state of one shard.
+struct ShardState<W: ShardWorker> {
+    shard: ShardId,
+    worker: W,
+    done: bool,
+    restarts: u32,
+    watchdog_kills: u32,
+    stalls: u64,
+    sent: u64,
+    received: u64,
+    replayed_rounds: u64,
+    inbound_digest: u64,
+    log_tail: Vec<String>,
+    /// Envelopes to deliver next round.
+    pending: Vec<Envelope<W::Msg>>,
+    /// First round not yet baked into `ckpt` (0 = initial state).
+    ckpt_round: u64,
+    /// Last checkpoint frame; empty means "initial worker state".
+    ckpt: Vec<u8>,
+    /// Inbound log since `ckpt_round`: `(round, delivered envelopes)`.
+    log: Vec<(u64, Vec<Envelope<W::Msg>>)>,
+}
+
+/// What one successful shard round hands back to the barrier.
+struct RoundCommit<M> {
+    done: bool,
+    outbound: Vec<Vec<(SimTime, M)>>,
+    stalls: u64,
+}
+
+fn render_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside a supervised shard round whose
+    /// panics are caught and converted into typed failures.
+    static PANICS_SUPERVISED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII guard that silences the default panic-hook report for panics
+/// the shard supervisor is about to catch. A supervised panic becomes a
+/// typed [`ShardFailure`] carrying the panic message, so the default
+/// hook's backtrace is pure noise in chaos runs; panics on unsupervised
+/// threads still report normally, and setting `HSWX_SHARD_BACKTRACE=1`
+/// re-enables the report for debugging a failing worker.
+struct QuietPanics;
+
+impl QuietPanics {
+    fn arm() -> Option<QuietPanics> {
+        if std::env::var_os("HSWX_SHARD_BACKTRACE").is_some() {
+            return None;
+        }
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !PANICS_SUPERVISED.with(std::cell::Cell::get) {
+                    prev(info);
+                }
+            }));
+        });
+        PANICS_SUPERVISED.with(|s| s.set(true));
+        Some(QuietPanics)
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        PANICS_SUPERVISED.with(|s| s.set(false));
+    }
+}
+
+/// Execute one shard's round under full supervision: catch_unwind,
+/// watchdog token, and checkpoint+replay restart on failure.
+fn supervise_round<W, F>(
+    state: &mut ShardState<W>,
+    round: u64,
+    inbound: &[Envelope<W::Msg>],
+    policy: &ShardPolicy,
+    n_shards: u16,
+    make: &F,
+    cancel: Option<&CancelToken>,
+) -> Result<RoundCommit<W::Msg>, ShardFailure>
+where
+    W: ShardWorker,
+    F: Fn(ShardId) -> W,
+{
+    let mut attempt = 0u32;
+    loop {
+        // External cancellation (the run's ambient token, captured by
+        // the supervisor) is terminal, not a restartable fault: the
+        // harness asked the whole run to stop, so no restart budget is
+        // burned and no recovery is attempted.
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(ShardFailure {
+                shard: state.shard,
+                kind: ShardFailureKind::WatchdogKill,
+                restarts: state.restarts,
+                detail: format!("run cancelled by the supervising harness before round {round}"),
+            });
+        }
+        let token = match policy.watchdog {
+            Some(budget) => CancelToken::with_deadline(budget),
+            None => CancelToken::new(),
+        };
+        let mut ctx = RoundCtx::new(n_shards, policy.queue, attempt, false, token);
+        let outcome = {
+            let _quiet = QuietPanics::arm();
+            catch_unwind(AssertUnwindSafe(|| state.worker.round(round, inbound, &mut ctx)))
+        };
+        let failure = match outcome {
+            Ok(Ok(done)) => {
+                return Ok(RoundCommit { done, outbound: ctx.outbound, stalls: ctx.stalls });
+            }
+            Ok(Err(RoundError::Cancelled)) => {
+                state.watchdog_kills += 1;
+                (ShardFailureKind::WatchdogKill, format!("round {round} exceeded its watchdog deadline"))
+            }
+            Ok(Err(RoundError::QueueOverflow { dst, occupancy })) => {
+                // Deterministic: a restart would overflow identically.
+                return Err(ShardFailure {
+                    shard: state.shard,
+                    kind: ShardFailureKind::QueueOverflow,
+                    restarts: state.restarts,
+                    detail: format!(
+                        "outbound channel to shard {} hit hard capacity {} at occupancy {occupancy}",
+                        dst.0, policy.queue.capacity
+                    ),
+                });
+            }
+            Err(payload) => (ShardFailureKind::Panic, render_panic(payload)),
+        };
+        // Restart path: fresh worker, restore checkpoint, replay log.
+        attempt += 1;
+        state.restarts += 1;
+        if state.restarts > policy.max_restarts {
+            return Err(ShardFailure {
+                shard: state.shard,
+                kind: failure.0,
+                restarts: state.restarts - 1,
+                detail: failure.1,
+            });
+        }
+        let mut fresh = make(state.shard);
+        if !state.ckpt.is_empty() {
+            if let Err(e) = fresh.restore(&state.ckpt) {
+                return Err(ShardFailure {
+                    shard: state.shard,
+                    kind: failure.0,
+                    restarts: state.restarts - 1,
+                    detail: format!("checkpoint restore failed during recovery: {e}"),
+                });
+            }
+        }
+        for (r0, env) in state.log.iter().filter(|(r0, _)| *r0 < round) {
+            state.replayed_rounds += 1;
+            let replay_token = CancelToken::new();
+            let mut replay_ctx = RoundCtx::new(n_shards, policy.queue, attempt, true, replay_token);
+            let replayed = {
+                let _quiet = QuietPanics::arm();
+                catch_unwind(AssertUnwindSafe(|| fresh.round(*r0, env, &mut replay_ctx)))
+            };
+            match replayed {
+                Ok(Ok(_)) => {}
+                other => {
+                    return Err(ShardFailure {
+                        shard: state.shard,
+                        kind: failure.0,
+                        restarts: state.restarts - 1,
+                        detail: format!(
+                            "replay of logged round {r0} diverged during recovery: {:?}",
+                            other.map_err(render_panic)
+                        ),
+                    });
+                }
+            }
+        }
+        state.worker = fresh;
+        // Loop: re-run the live round on the recovered worker.
+    }
+}
+
+/// Run `n_shards` supervised workers to quiescence (every shard done
+/// and no messages in flight). Returns the finished workers — the
+/// caller harvests their outputs — plus the supervision report.
+///
+/// `make` builds a shard's initial worker; it is also invoked during
+/// recovery, so it must be deterministic per shard.
+pub fn run_shards<W, F>(
+    n_shards: u16,
+    policy: &ShardPolicy,
+    make: F,
+) -> Result<(Vec<W>, ShardReport), ShardFailure>
+where
+    W: ShardWorker,
+    F: Fn(ShardId) -> W + Sync,
+{
+    assert!(n_shards > 0, "sharded run needs at least one shard");
+    let mut states: Vec<ShardState<W>> = (0..n_shards)
+        .map(|i| ShardState {
+            shard: ShardId(i),
+            worker: make(ShardId(i)),
+            done: false,
+            restarts: 0,
+            watchdog_kills: 0,
+            stalls: 0,
+            sent: 0,
+            received: 0,
+            replayed_rounds: 0,
+            inbound_digest: crate::fsio::fnv1a64(b"hswx-shard-inbound"),
+            log_tail: Vec::new(),
+            pending: Vec::new(),
+            ckpt_round: 0,
+            ckpt: Vec::new(),
+            log: Vec::new(),
+        })
+        .collect();
+    let threads = policy.threads.max(1).min(n_shards as usize);
+    // The caller's ambient cancel token, propagated explicitly because
+    // lane threads have their own (empty) thread-local ambient slot.
+    let cancel = CancelToken::ambient();
+    let mut round = 0u64;
+    loop {
+        let quiescent = states.iter().all(|s| s.done && s.pending.is_empty());
+        if quiescent {
+            let report = ShardReport::from_states(&states, round);
+            return Ok((states.into_iter().map(|s| s.worker).collect(), report));
+        }
+        // Deliver: sort each shard's pending envelopes into delivery
+        // order and fold the inbound digest; the inboxes become this
+        // round's inbound slices and, after execution, the replay log.
+        let mut scratch = Vec::new();
+        let mut inboxes: Vec<Vec<Envelope<W::Msg>>> = Vec::with_capacity(n_shards as usize);
+        for s in states.iter_mut() {
+            let mut inbox = std::mem::take(&mut s.pending);
+            inbox.sort_by_key(|a| (a.at, a.src, a.seq));
+            s.received += inbox.len() as u64;
+            for env in &inbox {
+                s.inbound_digest = env.fold_digest(s.inbound_digest, &mut scratch);
+                s.log_tail.push(format!(
+                    "r{round} t{:.1} s{}#{} {:?}",
+                    env.at.as_ns(),
+                    env.src.0,
+                    env.seq,
+                    env.msg
+                ));
+            }
+            let excess = s.log_tail.len().saturating_sub(LOG_TAIL);
+            s.log_tail.drain(..excess);
+            inboxes.push(inbox);
+        }
+        // Execute every shard's round, distributing shards over the
+        // worker pool round-robin. Commits are merged on the supervisor
+        // thread in shard-id order, so routing is schedule-independent.
+        let mut commits: Vec<Option<Result<RoundCommit<W::Msg>, ShardFailure>>> =
+            (0..n_shards).map(|_| None).collect();
+        type Lane<'a, W> = Vec<(
+            &'a mut ShardState<W>,
+            &'a [Envelope<<W as ShardWorker>::Msg>],
+            &'a mut Option<Result<RoundCommit<<W as ShardWorker>::Msg>, ShardFailure>>,
+        )>;
+        let mut lanes: Vec<Lane<'_, W>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, ((s, inbox), slot)) in
+            states.iter_mut().zip(inboxes.iter()).zip(commits.iter_mut()).enumerate()
+        {
+            lanes[i % threads].push((s, inbox.as_slice(), slot));
+        }
+        if threads <= 1 {
+            for lane in lanes {
+                for (s, inbound, slot) in lane {
+                    *slot = Some(supervise_round(
+                        s, round, inbound, policy, n_shards, &make, cancel.as_ref(),
+                    ));
+                }
+            }
+        } else {
+            let make_ref = &make;
+            let cancel_ref = cancel.as_ref();
+            std::thread::scope(|scope| {
+                for lane in lanes {
+                    scope.spawn(move || {
+                        for (s, inbound, slot) in lane {
+                            *slot = Some(supervise_round(
+                                s, round, inbound, policy, n_shards, make_ref, cancel_ref,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        // Barrier: route outbound messages in shard-id order.
+        let mut routed: Vec<Vec<Envelope<W::Msg>>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (i, (slot, inbox)) in commits.into_iter().zip(inboxes).enumerate() {
+            let commit = slot.expect("every shard executed this round")?;
+            let s = &mut states[i];
+            s.done = commit.done;
+            s.stalls += commit.stalls;
+            s.log.push((round, inbox));
+            for (dst, ch) in commit.outbound.into_iter().enumerate() {
+                for (at, msg) in ch {
+                    let env = Envelope { at, src: ShardId(i as u16), seq: s.sent, msg };
+                    s.sent += 1;
+                    routed[dst].push(env);
+                }
+            }
+        }
+        for (s, inbox) in states.iter_mut().zip(routed) {
+            s.pending = inbox;
+        }
+        // Checkpoint at the cadence boundary; the log before the new
+        // checkpoint round is no longer needed for replay.
+        let next_round = round + 1;
+        if next_round.is_multiple_of(policy.checkpoint_every.max(1)) {
+            for s in states.iter_mut() {
+                s.ckpt = s.worker.checkpoint();
+                s.ckpt_round = next_round;
+                s.log.retain(|(r0, _)| *r0 >= next_round);
+            }
+        }
+        round = next_round;
+        assert!(round < 100_000_000, "sharded run failed to quiesce (livelock bug)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{SnapReader, SnapWriter};
+
+    /// Toy deterministic worker: shard s owns values `s*100..s*100+n`;
+    /// each round it forwards a few to shard 0, which accumulates the
+    /// grand total. Checkpoints capture progress + accumulator.
+    #[derive(Debug)]
+    struct SumWorker {
+        shard: ShardId,
+        n_shards: u16,
+        values: Vec<u64>,
+        next: usize,
+        acc: u64,
+        per_round: usize,
+        /// Fault hooks (attempt-0 only, so restarts run clean).
+        panic_at: Option<usize>,
+        stall_forever: bool,
+        always_panic: bool,
+    }
+
+    impl SumWorker {
+        fn new(shard: ShardId, n_shards: u16, n: usize) -> Self {
+            SumWorker {
+                shard,
+                n_shards,
+                values: (0..n as u64).map(|v| u64::from(shard.0) * 100 + v).collect(),
+                next: 0,
+                acc: 0,
+                per_round: 3,
+                panic_at: None,
+                stall_forever: false,
+                always_panic: false,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Num(u64);
+
+    impl ShardMsg for Num {
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0.to_le_bytes());
+        }
+    }
+
+    impl ShardWorker for SumWorker {
+        type Msg = Num;
+
+        fn round(
+            &mut self,
+            round: u64,
+            inbound: &[Envelope<Num>],
+            ctx: &mut RoundCtx<Num>,
+        ) -> Result<bool, RoundError> {
+            if self.always_panic && !ctx.replaying() {
+                panic!("always-panic shard {}", self.shard.0);
+            }
+            if self.stall_forever && round == 0 && ctx.attempt() == 0 && !ctx.replaying() {
+                loop {
+                    if ctx.should_abort() {
+                        return Err(RoundError::Cancelled);
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+            for env in inbound {
+                self.acc += env.msg.0;
+            }
+            let mut emitted = 0;
+            while self.next < self.values.len() {
+                if emitted >= self.per_round || ctx.should_stall() {
+                    if ctx.should_stall() {
+                        ctx.note_stall();
+                    }
+                    break;
+                }
+                if ctx.attempt() == 0 && !ctx.replaying() && self.panic_at == Some(self.next) {
+                    panic!("injected panic at value {}", self.next);
+                }
+                let v = self.values[self.next];
+                self.next += 1;
+                emitted += 1;
+                if self.shard.0 == 0 {
+                    self.acc += v;
+                } else {
+                    ctx.send(SimTime::from_ns(round as f64 + 1.0), ShardId(0), Num(v))?;
+                }
+            }
+            let _ = self.n_shards;
+            Ok(self.next == self.values.len())
+        }
+
+        fn checkpoint(&self) -> Vec<u8> {
+            let mut w = SnapWriter::new(1);
+            w.u64(self.next as u64);
+            w.u64(self.acc);
+            w.finish()
+        }
+
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+            let (_, mut r) = SnapReader::open(bytes).map_err(|e| e.to_string())?;
+            self.next = r.u64().map_err(|e| e.to_string())? as usize;
+            self.acc = r.u64().map_err(|e| e.to_string())?;
+            Ok(())
+        }
+    }
+
+    const N: usize = 17;
+
+    fn expected_total(n_shards: u16) -> u64 {
+        (0..n_shards)
+            .flat_map(|s| (0..N as u64).map(move |v| u64::from(s) * 100 + v))
+            .sum()
+    }
+
+    fn total_of(workers: &[SumWorker]) -> u64 {
+        workers[0].acc
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let policy = ShardPolicy { threads, ..ShardPolicy::default() };
+            let (workers, report) =
+                run_shards(4, &policy, |s| SumWorker::new(s, 4, N)).unwrap();
+            assert_eq!(total_of(&workers), expected_total(4), "threads={threads}");
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+        assert_eq!(reports[0].restarts, 0);
+    }
+
+    #[test]
+    fn injected_panic_recovers_bit_identically() {
+        let (clean_workers, clean) = run_shards(4, &ShardPolicy::default(), |s| SumWorker::new(s, 4, N)).unwrap();
+        let policy = ShardPolicy { threads: 2, ..ShardPolicy::default() };
+        let (workers, report) = run_shards(4, &policy, |s| {
+            let mut w = SumWorker::new(s, 4, N);
+            if s.0 == 2 {
+                w.panic_at = Some(11); // mid-run, after a checkpoint exists
+            }
+            w
+        })
+        .unwrap();
+        assert_eq!(total_of(&workers), total_of(&clean_workers));
+        assert_eq!(report.restarts, 1);
+        assert!(report.shards[2].replayed_rounds > 0, "restart must replay the log: {report:?}");
+        // Recovery is invisible to the message flow: same digests.
+        assert_eq!(report.msg_log_digest, clean.msg_log_digest);
+        for (a, b) in report.shards.iter().zip(clean.shards.iter()) {
+            assert_eq!(a.inbound_digest, b.inbound_digest, "shard {}", a.shard.0);
+        }
+    }
+
+    #[test]
+    fn watchdog_kills_and_recovery_preserves_results() {
+        let (clean_workers, clean) = run_shards(3, &ShardPolicy::default(), |s| SumWorker::new(s, 3, N)).unwrap();
+        let policy = ShardPolicy {
+            threads: 2,
+            watchdog: Some(Duration::from_millis(20)),
+            ..ShardPolicy::default()
+        };
+        let (workers, report) = run_shards(3, &policy, |s| {
+            let mut w = SumWorker::new(s, 3, N);
+            if s.0 == 1 {
+                w.stall_forever = true;
+            }
+            w
+        })
+        .unwrap();
+        assert_eq!(total_of(&workers), total_of(&clean_workers));
+        assert_eq!(report.watchdog_kills, 1);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.msg_log_digest, clean.msg_log_digest);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_a_typed_failure() {
+        let policy = ShardPolicy { max_restarts: 2, ..ShardPolicy::default() };
+        let err = run_shards(2, &policy, |s| {
+            let mut w = SumWorker::new(s, 2, N);
+            if s.0 == 1 {
+                w.always_panic = true;
+            }
+            w
+        })
+        .unwrap_err();
+        assert_eq!(err.shard, ShardId(1));
+        assert_eq!(err.kind, ShardFailureKind::Panic);
+        assert_eq!(err.restarts, 2);
+        assert!(err.detail.contains("always-panic"), "{err}");
+    }
+
+    #[test]
+    fn ambient_cancellation_aborts_without_burning_restarts() {
+        let token = CancelToken::new();
+        token.cancel();
+        let _guard = CancelToken::set_ambient(token);
+        let err = run_shards(2, &ShardPolicy::default(), |s| SumWorker::new(s, 2, N)).unwrap_err();
+        assert_eq!(err.kind, ShardFailureKind::WatchdogKill);
+        assert_eq!(err.restarts, 0, "external cancellation must not count as recovery");
+        assert!(err.detail.contains("cancelled by the supervising harness"), "{err}");
+    }
+
+    #[test]
+    fn hard_queue_overflow_fails_fast_without_retries() {
+        let policy = ShardPolicy {
+            queue: QueuePolicy { capacity: 2, stall_at: 100 }, // stall never fires first
+            ..ShardPolicy::default()
+        };
+        let err = run_shards(2, &policy, |s| {
+            let mut w = SumWorker::new(s, 2, N);
+            w.per_round = N; // try to emit everything in one round
+            w
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, ShardFailureKind::QueueOverflow);
+        assert_eq!(err.restarts, 0, "deterministic overflow must not be retried");
+        assert!(err.detail.contains("hard capacity 2"), "{err}");
+    }
+
+    #[test]
+    fn backpressure_stalls_are_deterministic_and_result_transparent() {
+        let tight = ShardPolicy {
+            queue: QueuePolicy { capacity: 8, stall_at: 2 },
+            threads: 2,
+            ..ShardPolicy::default()
+        };
+        let mk = |s: ShardId| {
+            let mut w = SumWorker::new(s, 3, N);
+            w.per_round = N;
+            w
+        };
+        let (w1, r1) = run_shards(3, &tight, mk).unwrap();
+        let (w2, r2) = run_shards(3, &ShardPolicy { threads: 1, ..tight.clone() }, mk).unwrap();
+        assert!(r1.stalls > 0, "tight stall threshold must trigger backpressure");
+        assert_eq!(r1, r2, "stall decisions must not depend on thread count");
+        assert_eq!(total_of(&w1), total_of(&w2));
+        assert_eq!(total_of(&w1), expected_total(3));
+    }
+
+    #[test]
+    fn report_identity_fields_line_up() {
+        let (_, report) = run_shards(2, &ShardPolicy::default(), |s| SumWorker::new(s, 2, N)).unwrap();
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.messages, report.shards.iter().map(|s| s.sent).sum::<u64>());
+        assert_eq!(report.shards[0].received, report.shards[1].sent);
+        assert!(!report.shards[0].log_tail.is_empty());
+        assert!(report.shards[0].log_tail.len() <= LOG_TAIL);
+    }
+}

@@ -64,6 +64,17 @@ pub enum FaultClass {
     /// A poisoned line whose consumption must abort exactly one walk with
     /// a typed error while every other structure stays untouched.
     PoisonLine,
+    /// A shard of the sharded batch runtime panics mid-plan; the
+    /// supervisor must heal it via restart-from-snapshot + message-log
+    /// replay, bit-identically to a clean run.
+    ShardPanic,
+    /// A shard stalls past its watchdog deadline; the supervisor must
+    /// kill and restart it, bit-identically to a clean run.
+    ShardWatchdog,
+    /// A shard deterministically exhausts its restart budget; the batch
+    /// must abort with one typed error before any dispatch, leaving the
+    /// simulated state untouched.
+    ShardQueueOverflow,
 }
 
 /// What the simulator is expected to do with a fault class.
@@ -95,7 +106,7 @@ impl FaultKind {
 impl FaultClass {
     /// Every class, in reporting order: detection classes first, then the
     /// recoverable/contained transients.
-    pub const ALL: [FaultClass; 16] = [
+    pub const ALL: [FaultClass; 19] = [
         FaultClass::MintForwarder,
         FaultClass::BreakMExclusivity,
         FaultClass::DropL3Line,
@@ -112,6 +123,9 @@ impl FaultClass {
         FaultClass::DirGlitch,
         FaultClass::HitMeGlitch,
         FaultClass::PoisonLine,
+        FaultClass::ShardPanic,
+        FaultClass::ShardWatchdog,
+        FaultClass::ShardQueueOverflow,
     ];
 
     /// Stable identifier used in plans and reports.
@@ -133,6 +147,9 @@ impl FaultClass {
             FaultClass::DirGlitch => "dir-glitch",
             FaultClass::HitMeGlitch => "hitme-glitch",
             FaultClass::PoisonLine => "poison-line",
+            FaultClass::ShardPanic => "shard-panic",
+            FaultClass::ShardWatchdog => "shard-watchdog",
+            FaultClass::ShardQueueOverflow => "shard-queue-overflow",
         }
     }
 
@@ -144,10 +161,14 @@ impl FaultClass {
     /// The expected simulator response to this class.
     pub fn kind(self) -> FaultKind {
         match self {
-            FaultClass::QpiCrc | FaultClass::DirGlitch | FaultClass::HitMeGlitch => {
-                FaultKind::Recover
-            }
-            FaultClass::QpiCrcStorm | FaultClass::PoisonLine => FaultKind::Contain,
+            FaultClass::QpiCrc
+            | FaultClass::DirGlitch
+            | FaultClass::HitMeGlitch
+            | FaultClass::ShardPanic
+            | FaultClass::ShardWatchdog => FaultKind::Recover,
+            FaultClass::QpiCrcStorm
+            | FaultClass::PoisonLine
+            | FaultClass::ShardQueueOverflow => FaultKind::Contain,
             _ => FaultKind::Detect,
         }
     }
@@ -372,12 +393,12 @@ mod tests {
             .iter()
             .filter(|c| c.kind() == FaultKind::Recover)
             .collect();
-        assert_eq!(recover.len(), 3);
+        assert_eq!(recover.len(), 5);
         let contain: Vec<_> = FaultClass::ALL
             .iter()
             .filter(|c| c.kind() == FaultKind::Contain)
             .collect();
-        assert_eq!(contain.len(), 2);
+        assert_eq!(contain.len(), 3);
     }
 }
 
