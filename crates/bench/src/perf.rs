@@ -530,6 +530,90 @@ pub fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Parse `BENCH_history.jsonl` into per-entry kernel throughput lists,
+/// file order (oldest first). Malformed or kernel-free lines are skipped:
+/// the history is append-only across format versions, so one bad line
+/// must never poison the trend check.
+pub fn parse_history(text: &str) -> Vec<Vec<(String, f64)>> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(pos) = line.find("\"kernels\": {") else { continue };
+        let rest = &line[pos + "\"kernels\": {".len()..];
+        let Some(end) = rest.find('}') else { continue };
+        let mut kernels = Vec::new();
+        for pair in rest[..end].split(',') {
+            let Some((name, value)) = pair.split_once(':') else { continue };
+            let name = name.trim().trim_matches('"');
+            if name.is_empty() {
+                continue;
+            }
+            if let Ok(v) = value.trim().parse::<f64>() {
+                kernels.push((name.to_string(), v));
+            }
+        }
+        if !kernels.is_empty() {
+            entries.push(kernels);
+        }
+    }
+    entries
+}
+
+/// Prior entries a kernel needs before the trailing-median trend gate
+/// engages (a median of one or two runs is host-scheduler noise).
+pub const HISTORY_MIN_PRIOR: usize = 3;
+
+/// Gate the newest `BENCH_history.jsonl` entry against each kernel's
+/// trailing median over all prior entries: `Err` lines for every kernel
+/// whose latest walks/sec fell more than `tolerance` (fraction) below
+/// its median. Kernels with fewer than [`HISTORY_MIN_PRIOR`] prior
+/// entries are reported but not gated, so freshly added kernels can
+/// accumulate history first. An empty history is an error — the check
+/// only makes sense after `hswx perfbench` has appended at least once.
+pub fn check_history(text: &str, tolerance: f64) -> Result<Vec<String>, Vec<String>> {
+    let entries = parse_history(text);
+    let Some((latest, prior)) = entries.split_last() else {
+        return Err(vec!["no history entries found (run `hswx perfbench` first)".into()]);
+    };
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (name, latest_v) in latest {
+        let mut series: Vec<f64> = prior
+            .iter()
+            .filter_map(|e| e.iter().find(|(n, _)| n == name).map(|(_, v)| *v))
+            .collect();
+        if series.len() < HISTORY_MIN_PRIOR {
+            ok.push(format!(
+                "{name:<20} {latest_v:>14.0} walks/sec ({} prior entr{}, needs {} — not gated)",
+                series.len(),
+                if series.len() == 1 { "y" } else { "ies" },
+                HISTORY_MIN_PRIOR,
+            ));
+            continue;
+        }
+        series.sort_by(f64::total_cmp);
+        let mid = series.len() / 2;
+        let median = if series.len() % 2 == 1 {
+            series[mid]
+        } else {
+            (series[mid - 1] + series[mid]) / 2.0
+        };
+        let line = format!(
+            "{name:<20} {latest_v:>14.0} walks/sec vs trailing median {median:>14.0} ({:+.1}%)",
+            (latest_v / median - 1.0) * 100.0
+        );
+        if *latest_v < median * (1.0 - tolerance) {
+            bad.push(line);
+        } else {
+            ok.push(line);
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}
+
 /// Compare a run against a parsed baseline. Returns `Err` lines for every
 /// kernel whose walks/sec fell more than `tolerance` (fraction, e.g. 0.30)
 /// below the baseline value; kernels absent from the baseline are skipped.
@@ -683,6 +767,92 @@ mod tests {
              \"figures\": {\"fig4\": 12.000}}\n"
         );
         assert_eq!(line.matches('\n').count(), 1, "must stay one JSONL line");
+    }
+
+    fn history_text(latest_mem_walk: f64) -> String {
+        let mut text = String::new();
+        for v in [100.0, 110.0, 90.0, 105.0] {
+            text.push_str(&history_line(
+                &PerfReport {
+                    quick: true,
+                    kernels: vec![
+                        KernelResult { name: "mem_walk", walks: 1, wall_s: 1.0, walks_per_sec: v },
+                        KernelResult { name: "young", walks: 1, wall_s: 1.0, walks_per_sec: 7.0 },
+                    ],
+                    figures: vec![],
+                },
+                0,
+                "sha",
+            ));
+        }
+        text.push_str(&history_line(
+            &PerfReport {
+                quick: true,
+                kernels: vec![KernelResult {
+                    name: "mem_walk",
+                    walks: 1,
+                    wall_s: 1.0,
+                    walks_per_sec: latest_mem_walk,
+                }],
+                figures: vec![],
+            },
+            0,
+            "sha",
+        ));
+        text
+    }
+
+    #[test]
+    fn parse_history_extracts_kernels_and_skips_garbage() {
+        let mut text = history_text(100.0);
+        text.insert_str(0, "not json at all\n{\"kernels\": {}}\n");
+        let entries = parse_history(&text);
+        assert_eq!(entries.len(), 5, "two malformed lines must be skipped");
+        assert_eq!(entries[0][0], ("mem_walk".to_string(), 100.0));
+        assert_eq!(entries[0][1], ("young".to_string(), 7.0));
+    }
+
+    #[test]
+    fn check_history_passes_a_steady_kernel() {
+        // Trailing median of [100, 110, 90, 105] is 102.5; 95 is -7.3%.
+        let lines = check_history(&history_text(95.0), 0.30).unwrap();
+        assert!(lines.iter().any(|l| l.contains("mem_walk")), "{lines:?}");
+    }
+
+    #[test]
+    fn check_history_flags_a_trend_regression() {
+        // 60 vs a 102.5 median is -41%: beyond the 30% tolerance.
+        let err = check_history(&history_text(60.0), 0.30).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("mem_walk"), "{err:?}");
+        // The same drop passes at a looser tolerance.
+        assert!(check_history(&history_text(60.0), 0.50).is_ok());
+    }
+
+    #[test]
+    fn check_history_skips_kernels_without_enough_priors() {
+        // `young` appears in the latest entry of a 2-line history: only
+        // one prior, so it is reported but never gated even at 1000x drop.
+        let mut text = String::new();
+        for v in [7000.0, 7.0] {
+            text.push_str(&history_line(
+                &PerfReport {
+                    quick: true,
+                    kernels: vec![KernelResult {
+                        name: "young",
+                        walks: 1,
+                        wall_s: 1.0,
+                        walks_per_sec: v,
+                    }],
+                    figures: vec![],
+                },
+                0,
+                "sha",
+            ));
+        }
+        let lines = check_history(&text, 0.30).unwrap();
+        assert!(lines[0].contains("not gated"), "{lines:?}");
+        assert!(check_history("", 0.30).is_err(), "an empty history is an error");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Flags;
-use hswx_engine::{Heartbeat, SimTime};
+use hswx_engine::SimTime;
 use hswx_verify::{run_campaign, FaultPlan};
 use hswx_haswell::microbench::{
     pointer_chase, stream_read, stream_write, stream_write_nt, Buffer, LoadWidth,
@@ -39,14 +39,18 @@ USAGE:
                   --telemetry samples simulated-time series per job and
                   writes the merged profile to BASE.csv and BASE.om)
   hswx perfbench [--quick] [--baseline FILE] [--write-baseline] [--out FILE]
-                 [--tolerance PCT] [--history FILE] [--no-history] [--threads N]
+                 [--tolerance PCT] [--history FILE] [--no-history]
+                 [--check-history] [--threads N]
                  (host-throughput walk kernels — sequential, batch-engine
                   (mem_walk_batch, placement_l3_batch), and sharded
                   (mem_walk_shard1/2/8) variants — vs the committed
                   BENCH_perf.json; exits nonzero on a regression; every
                   run appends a dated, git-sha-stamped entry to
                   BENCH_history.jsonl unless --no-history; --threads adds
-                  an ungated sharded probe at N worker threads)
+                  an ungated sharded probe at N worker threads;
+                  --check-history instead gates the newest history entry
+                  against each kernel's trailing median, nonzero exit on
+                  a >tolerance drop — the CI trend gate)
   hswx soak      [--budget 60s|1500ms|N] [--seed N] [--out DIR] [--report FILE]
                  [--metrics-json FILE] [--scenario mixed|shard-chaos]
                  [--threads N]
@@ -65,9 +69,21 @@ USAGE:
                  (run a placed-state scenario with the span tracer armed:
                   writes Chrome/Perfetto trace-event JSON and prints a
                   terminal waterfall plus an exact latency attribution)
+  hswx trace     --threads N [--mode M] [--accesses N] [--out FILE]
+                 (run a batch through the sharded runtime with the causal
+                  flow tracer armed: every cross-shard message becomes a
+                  Perfetto flow event linking its send and recv spans, so
+                  one access's plan renders as a single tree across the
+                  per-shard tracks; also prints per-edge traffic totals)
   hswx explain fig7 [SIZE_KIB] [--fwd N] [--home N]
                  (trace one read of the Figure 7 HitME/AllocateShared
                   anomaly and attribute its latency hop by hop)
+  hswx explain shard [--threads N] [--accesses N] [--mode M]
+                 (run one batch sequentially and sharded, then decompose
+                  the wall-clock gap into exact component rows — partition,
+                  shard execution, queue wait, checkpointing, supervisor
+                  overhead, merge, dispatch — that sum to the gap to the
+                  nanosecond, same contract as `hswx explain fig7`)
   hswx explain diff A B [--telemetry-a FILE] [--telemetry-b FILE]
                  (compare two runs' metrics JSON exports — files or run
                   directories — and rank the regression by hardware
@@ -75,14 +91,19 @@ USAGE:
   hswx top       [--dir DIR] [--frames N] [--interval-ms N] [--plain] [--once]
                  (live dashboard tailing DIR/heartbeat.txt from a running
                   campaign or soak: progress, retries, ETA, per-component
-                  activity sparklines; exits when the driver finishes)
+                  activity sparklines, and a per-shard lane panel with
+                  queue-depth sparklines when the driver runs sharded;
+                  torn/partial heartbeat reads are skipped and retried;
+                  exits when the driver finishes)
 
 EXAMPLES:
   hswx latency --state M --level l1 --placer 1 --measurer 0
   hswx bandwidth --level mem --size 67108864 --width avx
   hswx replay mytrace.txt --mode cod --window 8
   hswx trace --mode cod --state S --level l3 --home 1 --out trace.json
+  hswx trace --threads 2 --out shard-trace.json
   hswx explain fig7 128
+  hswx explain shard --threads 2
   hswx faultcheck --quick
   hswx campaign --out results --resume --metrics-json results/metrics.json
   hswx campaign --out results --telemetry results/telemetry
@@ -247,6 +268,9 @@ pub fn bandwidth(argv: &[String]) -> Result<(), String> {
 pub fn trace(argv: &[String]) -> Result<(), String> {
     use hswx_bench::scenarios::LatencyScenario;
     let flags = Flags::parse(argv, &[])?;
+    if let Some(threads) = threads_of(&flags)? {
+        return trace_shard(&flags, threads);
+    }
     let mode = mode_of(&flags)?;
     let level = level_of(&flags)?;
     let state = state_of(&flags)?;
@@ -295,6 +319,70 @@ pub fn trace(_argv: &[String]) -> Result<(), String> {
     Err("this binary was built without the `trace` feature; \
          rebuild with default features to use `hswx trace`"
         .into())
+}
+
+/// A deterministic mixed read/write batch spread over every core, used
+/// by the sharded observability commands (`trace --threads`, `explain
+/// shard`) so their numbers are reproducible run to run.
+fn shard_demo_batch(n: usize, cores: u16) -> Vec<hswx_haswell::Access> {
+    use hswx_haswell::Access;
+    use hswx_mem::LineAddr;
+    (0..n)
+        .map(|i| {
+            let core = CoreId((i as u16 * 7) % cores);
+            let line = LineAddr((i as u64 * 192) % (1 << 21));
+            if i % 4 == 0 {
+                Access::write(core, line)
+            } else {
+                Access::read(core, line)
+            }
+        })
+        .collect()
+}
+
+/// `hswx trace --threads N` — run a sharded batch with the causal flow
+/// tracer armed and export every cross-shard message as a Perfetto flow
+/// event (send and recv slivers on the per-shard tracks, linked by flow
+/// id, grouped into per-access trees by the `group` arg). The captured
+/// trace is validated for well-formedness (every recv pairs with a send,
+/// per-edge FIFO order holds) before export.
+#[cfg(feature = "trace")]
+fn trace_shard(flags: &Flags, threads: usize) -> Result<(), String> {
+    use hswx_haswell::ShardConfig;
+    let mode = mode_of(flags)?;
+    let accesses = flags.get_parse("accesses", 96usize)?.max(1);
+    let out_path = flags.get("out", "trace.json").to_string();
+
+    let cfg = SystemConfig::e5_2680_v3(mode);
+    let batch = shard_demo_batch(accesses, cfg.n_cores());
+    let mut sys = System::new(cfg);
+    let mut scfg = ShardConfig::with_threads(threads);
+    scfg.flows = Some(1 << 20);
+    let run = sys.run_batch_sharded(&batch, &scfg).map_err(|e| e.to_string())?;
+    hswx_engine::shard::validate_shard_trace(&run.report.trace)
+        .map_err(|e| format!("internal: malformed shard flow trace: {e}"))?;
+    let json = hswx_engine::trace::shard_chrome_json(&run.report.trace);
+    hswx_engine::trace::validate_trace_json(&json)
+        .map_err(|e| format!("internal: trace JSON failed validation: {e}"))?;
+    hswx_engine::atomic_write(std::path::Path::new(&out_path), json.as_bytes(), false)
+        .map_err(|e| format!("{out_path}: {e}"))?;
+
+    println!(
+        "traced {} cross-shard message(s) over {} round(s) at {threads} worker thread(s);",
+        run.report.messages, run.report.rounds
+    );
+    println!("Perfetto flow trace written to {out_path}");
+    println!("\nper-edge traffic (deterministic at any thread count):");
+    println!("  {:<20} {:>8} {:>10}", "edge", "msgs", "bytes");
+    for h in &run.report.shards {
+        for e in &h.inbound_edges {
+            if e.msgs > 0 {
+                let edge = format!("shard{} -> shard{}", e.src.0, h.shard.0);
+                println!("  {edge:<20} {:>8} {:>10}", e.msgs, e.bytes);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Print the exact latency attribution of one walk: every row is the
@@ -412,6 +500,88 @@ fn explain_fig7(_argv: &[String]) -> Result<(), String> {
         .into())
 }
 
+/// `hswx explain shard [--threads N] [--accesses N] [--mode M]` — run one
+/// batch sequentially and through the supervised sharded runtime, then
+/// decompose the wall-clock gap between the two into component rows that
+/// sum to the gap *exactly* (integer nanoseconds, checked here — the same
+/// contract `hswx explain fig7` makes for simulated time). Positive rows
+/// are shard-runtime cost the sequential path doesn't pay; the final row
+/// is the sharded dispatch wall minus the whole sequential run, so the
+/// signed total is exactly `sharded wall − sequential wall`.
+fn explain_shard(argv: &[String]) -> Result<(), String> {
+    use hswx_haswell::ShardConfig;
+    let flags = Flags::parse(argv, &[])?;
+    let mode = mode_of(&flags)?;
+    let threads = threads_of(&flags)?.unwrap_or(1);
+    let accesses = flags.get_parse("accesses", 512usize)?.max(1);
+
+    let cfg = SystemConfig::e5_2680_v3(mode);
+    let batch = shard_demo_batch(accesses, cfg.n_cores());
+
+    let mut seq = System::new(cfg.clone());
+    let t0 = std::time::Instant::now();
+    let want = seq.run_batch_seq(&batch);
+    let t_seq = t0.elapsed().as_nanos() as i64;
+
+    let mut sys = System::new(cfg);
+    let run = sys
+        .run_batch_sharded(&batch, &ShardConfig::with_threads(threads))
+        .map_err(|e| e.to_string())?;
+    if run.outcome != want || sys.state_digest() != seq.state_digest() {
+        return Err("internal: sharded run diverged from the sequential reference".into());
+    }
+
+    let ph = run.phases;
+    let tm = run.report.timing;
+    let t_shard = ph.total_ns() as i64;
+    let gap = t_shard - t_seq;
+    // Every row is host wall time measured by the runtime itself; the
+    // supervisor row is the plan phase minus its own accounted segments,
+    // so the rows reconstruct the phase sums without double counting.
+    let rows: [(&str, i64); 8] = [
+        ("partition (plan split)", ph.partition_ns as i64),
+        ("shard execution", tm.exec_ns as i64),
+        ("queue wait: delivery", tm.deliver_ns as i64),
+        ("queue wait: barrier routing", tm.route_ns as i64),
+        ("checkpointing", tm.checkpoint_ns as i64),
+        ("supervisor overhead", ph.plan_ns as i64 - tm.total_ns() as i64),
+        ("merge (reply reassembly)", ph.merge_ns as i64),
+        ("dispatch delta vs sequential", ph.dispatch_ns as i64 - t_seq),
+    ];
+
+    println!(
+        "{} access(es) under {}: sequential {:.3} us, sharded {:.3} us \
+         at {threads} worker thread(s)",
+        batch.len(),
+        sys.cfg.mode.label(),
+        t_seq as f64 / 1000.0,
+        t_shard as f64 / 1000.0,
+    );
+    println!(
+        "{} round(s), {} message(s), {} stall(s), {} restart(s); \
+         results bit-identical to sequential dispatch\n",
+        run.report.rounds, run.report.messages, run.report.stalls, run.report.restarts,
+    );
+    println!("shard-vs-sequential gap attribution (host wall clock):");
+    println!("  {:<30} {:>12}  {:>6}", "component", "ns", "share");
+    for (name, ns) in &rows {
+        println!(
+            "  {:<30} {:>12}  {:>5.1}%",
+            name,
+            ns,
+            if t_shard > 0 { 100.0 * *ns as f64 / t_shard as f64 } else { 0.0 },
+        );
+    }
+    let sum: i64 = rows.iter().map(|(_, ns)| ns).sum();
+    assert_eq!(sum, gap, "attribution rows must sum to the shard-vs-seq wall gap");
+    println!(
+        "  {:<30} {:>12}  (rows sum exactly to the gap)",
+        if gap >= 0 { "total gap (sharded slower)" } else { "total gap (sharded faster)" },
+        gap,
+    );
+    Ok(())
+}
+
 /// `hswx explain diff A B` — compare two runs' exports and localize the
 /// regression to named hardware components (see `hswx_bench::diffcmp`).
 /// `A`/`B` are metrics JSON files, or run directories holding
@@ -466,13 +636,18 @@ fn explain_diff(argv: &[String]) -> Result<(), String> {
 /// `hswx explain` — run one placed-state access with the protocol
 /// transcript armed and print the steps in order. The `fig7` form
 /// instead traces the Figure 7 anomaly point (see [`explain_fig7`]); the
-/// `diff` form compares two runs' exports (see [`explain_diff`]).
+/// `diff` form compares two runs' exports (see [`explain_diff`]); the
+/// `shard` form attributes the sharded-vs-sequential wall gap (see
+/// [`explain_shard`]).
 pub fn explain(argv: &[String]) -> Result<(), String> {
     if argv.first().map(String::as_str) == Some("fig7") {
         return explain_fig7(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("diff") {
         return explain_diff(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("shard") {
+        return explain_shard(&argv[1..]);
     }
     let flags = Flags::parse(argv, &[])?;
     let mode = mode_of(&flags)?;
@@ -802,14 +977,48 @@ pub fn soak(argv: &[String]) -> Result<(), String> {
 /// * `--write-baseline`: write the run to the baseline file instead of
 ///   comparing (use after intentional performance changes);
 /// * `--out FILE`: also dump the run's JSON to `FILE`;
-/// * `--tolerance PCT`: allowed walks/sec drop before failing (default 30).
+/// * `--tolerance PCT`: allowed walks/sec drop before failing (default 30);
+/// * `--check-history`: skip measuring and instead gate the newest
+///   `BENCH_history.jsonl` entry against each kernel's trailing median
+///   (nonzero exit when any kernel fell more than the tolerance below it).
 pub fn perfbench(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["quick", "write-baseline", "no-history"])?;
+    let flags =
+        Flags::parse(argv, &["quick", "write-baseline", "no-history", "check-history"])?;
     let quick = flags.has("quick");
     let baseline_path = flags.get("baseline", "BENCH_perf.json").to_string();
     let tolerance = flags.get_parse("tolerance", 30.0f64)? / 100.0;
     if !(0.0..1.0).contains(&tolerance) {
         return Err("--tolerance must be in 0..100".into());
+    }
+
+    if flags.has("check-history") {
+        let history_path = flags.get("history", "BENCH_history.jsonl").to_string();
+        let text = std::fs::read_to_string(&history_path)
+            .map_err(|e| format!("{history_path}: {e}"))?;
+        return match hswx_bench::perf::check_history(&text, tolerance) {
+            Ok(lines) => {
+                println!(
+                    "{history_path}: latest entry vs trailing medians \
+                     (tolerance {:.0}%):",
+                    tolerance * 100.0
+                );
+                for l in lines {
+                    println!("  ok   {l}");
+                }
+                Ok(())
+            }
+            Err(lines) => {
+                for l in &lines {
+                    println!("  FAIL {l}");
+                }
+                Err(format!(
+                    "{} kernel(s) fell more than {:.0}% below their trailing \
+                     median in {history_path}",
+                    lines.len(),
+                    tolerance * 100.0
+                ))
+            }
+        };
     }
 
     eprintln!("running {} perfbench suite...", if quick { "quick" } else { "full" });
@@ -908,11 +1117,26 @@ pub fn top(argv: &[String]) -> Result<(), String> {
     let mut history = crate::top::History::default();
     let mut rendered = 0u64;
     let mut waited = std::time::Duration::ZERO;
+    let mut unreadable = 0u32;
     loop {
-        match Heartbeat::read(&path)? {
-            None if rendered == 0 => {
+        match crate::top::ingest(&path) {
+            crate::top::Ingest::Unreadable(e) => {
+                // A torn or partial frame (the drivers write atomically,
+                // but copies, network mounts, or foreign writers need
+                // not): skip and retry instead of dying mid-watch. Only a
+                // persistently unreadable file is a real error.
+                unreadable += 1;
+                if unreadable >= crate::top::MAX_UNREADABLE {
+                    return Err(format!(
+                        "{e} ({unreadable} consecutive unreadable frames)"
+                    ));
+                }
+                std::thread::sleep(interval);
+            }
+            crate::top::Ingest::Absent if rendered == 0 => {
                 // Driver still starting up: wait for the first frame, but
                 // not forever — a wrong --dir should fail, not hang.
+                unreadable = 0;
                 if waited >= std::time::Duration::from_secs(30) {
                     return Err(format!("no heartbeat at {} after 30s", path.display()));
                 }
@@ -922,9 +1146,11 @@ pub fn top(argv: &[String]) -> Result<(), String> {
                 std::thread::sleep(interval);
                 waited += interval;
             }
-            None => return Ok(()), // out dir cleaned up mid-watch
-            Some(hb) => {
+            crate::top::Ingest::Absent => return Ok(()), // out dir cleaned up mid-watch
+            crate::top::Ingest::Frame(hb) => {
+                unreadable = 0;
                 history.observe(&hb.metrics);
+                history.observe_lanes(&hb.shard_lanes);
                 let frame = crate::top::render_frame(&hb, &history, plain);
                 if plain {
                     println!("{frame}");

@@ -8,13 +8,16 @@
 //! hswx bandwidth [same flags] [--width avx|sse] [--write|--write-nt]
 //! hswx replay    FILE [--mode MODE] [--window N]
 //! hswx trace     [latency flags] [--accesses N] [--out FILE]
+//!                | trace --threads N (cross-shard Perfetto flow trace)
 //! hswx explain   [latency flags] | explain fig7 [SIZE_KIB] [--fwd N] [--home N]
+//!                | explain diff A B | explain shard [--threads N]
 //! hswx apps      [--accesses N]
 //! hswx faultcheck [--quick] [--json FILE]
 //! hswx campaign  [--resume] [--time-budget-ms N] [--jobs a,b,..]
 //! hswx soak      [--budget 60s] [--seed N] [--out DIR] [--report FILE]
 //! hswx top       [--dir DIR] [--frames N] [--interval-ms N] [--plain]
 //! hswx perfbench [--quick] [--baseline FILE] [--write-baseline]
+//!                [--check-history] [--history FILE]
 //! ```
 //!
 //! `MODE` is `source` (default), `home`, or `cod`.

@@ -11,8 +11,38 @@
 //! terminal; the command loop owns the polling, ANSI clearing, and exit
 //! condition (status leaves `running`, or `--frames` is exhausted).
 
-use hswx_engine::Heartbeat;
+use hswx_engine::{Heartbeat, ShardBeat};
 use std::collections::BTreeMap;
+
+/// Consecutive unreadable polls the command loop tolerates before giving
+/// up: transient torn reads heal in one or two polls, a genuinely
+/// corrupt or foreign file keeps failing.
+pub const MAX_UNREADABLE: u32 = 20;
+
+/// One poll of the heartbeat file, classified for the command loop:
+/// `Absent` (no file yet, or cleaned up), `Unreadable` (exists but does
+/// not parse — a torn or partial frame to skip and retry, carrying the
+/// parse error for the give-up path), or a full `Frame`.
+pub enum Ingest {
+    /// The heartbeat file does not exist.
+    Absent,
+    /// The file exists but failed to parse (torn/partial read).
+    Unreadable(String),
+    /// A complete, parsed heartbeat frame.
+    Frame(Box<Heartbeat>),
+}
+
+/// Poll `path` once and classify the result. Never an `Err`: a torn or
+/// half-written heartbeat (atomic-rename writers make this impossible,
+/// but rsync'd output dirs and foreign writers do not) is a skippable
+/// [`Ingest::Unreadable`], not a crash of the dashboard.
+pub fn ingest(path: &std::path::Path) -> Ingest {
+    match Heartbeat::read(path) {
+        Ok(None) => Ingest::Absent,
+        Ok(Some(hb)) => Ingest::Frame(Box::new(hb)),
+        Err(e) => Ingest::Unreadable(e),
+    }
+}
 
 /// Sparkline glyph ramps, lowest to highest activity.
 const BARS_UNICODE: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -28,6 +58,10 @@ pub struct History {
     last: BTreeMap<String, u64>,
     /// Recent per-frame deltas, oldest first, capped at [`SPARK_WIDTH`].
     deltas: BTreeMap<String, Vec<u64>>,
+    /// Per-shard-lane queue-depth samples (raw gauge values, not deltas:
+    /// a queue depth is a level, so the sparkline plots it directly),
+    /// oldest first, capped at [`SPARK_WIDTH`].
+    lanes: BTreeMap<u64, Vec<u64>>,
 }
 
 impl History {
@@ -50,24 +84,45 @@ impl History {
         }
     }
 
-    fn sparkline(&self, name: &str, plain: bool) -> String {
-        let ramp = if plain { BARS_ASCII } else { BARS_UNICODE };
-        let Some(series) = self.deltas.get(name) else { return String::new() };
-        let max = series.iter().copied().max().unwrap_or(0);
-        series
-            .iter()
-            .map(|&d| {
-                if max == 0 {
-                    ramp[0]
-                } else {
-                    // Scale into the ramp; any nonzero delta gets at
-                    // least the second glyph so activity never renders
-                    // as dead-flat.
-                    ramp[(((d * 7).div_ceil(max)) as usize).clamp(usize::from(d > 0), 7)]
-                }
-            })
-            .collect()
+    /// Record one frame of per-lane shard health: queue-depth high-water
+    /// marks feed gauge sparklines (raw values, unlike the counter
+    /// deltas above).
+    pub fn observe_lanes(&mut self, lanes: &[ShardBeat]) {
+        for lane in lanes {
+            let series = self.lanes.entry(lane.shard).or_default();
+            series.push(lane.queue_hwm);
+            if series.len() > SPARK_WIDTH {
+                let excess = series.len() - SPARK_WIDTH;
+                series.drain(..excess);
+            }
+        }
     }
+
+    fn sparkline(&self, name: &str, plain: bool) -> String {
+        self.deltas.get(name).map(|s| ramped(s, plain)).unwrap_or_default()
+    }
+
+    /// Queue-depth sparkline for one shard lane.
+    pub fn lane_sparkline(&self, shard: u64, plain: bool) -> String {
+        self.lanes.get(&shard).map(|s| ramped(s, plain)).unwrap_or_default()
+    }
+}
+
+/// Scale a value series into the glyph ramp. Any nonzero value gets at
+/// least the second glyph so activity never renders as dead-flat.
+fn ramped(series: &[u64], plain: bool) -> String {
+    let ramp = if plain { BARS_ASCII } else { BARS_UNICODE };
+    let max = series.iter().copied().max().unwrap_or(0);
+    series
+        .iter()
+        .map(|&d| {
+            if max == 0 {
+                ramp[0]
+            } else {
+                ramp[(((d * 7).div_ceil(max)) as usize).clamp(usize::from(d > 0), 7)]
+            }
+        })
+        .collect()
 }
 
 fn fmt_duration_ms(ms: u64) -> String {
@@ -137,6 +192,24 @@ pub fn render_frame(hb: &Heartbeat, history: &History, plain: bool) -> String {
             hb.shard_restarts,
             if hb.shard_restarts == 1 { "" } else { "s" },
         ));
+    }
+    // Per-lane panel: one row per shard with a queue-depth sparkline
+    // (gauge levels, not deltas). Only sharded drivers emit lane lines,
+    // so single-lane dashboards never show the panel.
+    if !hb.shard_lanes.is_empty() {
+        s.push_str("  shard lanes (queue-depth high-water):\n");
+        for lane in &hb.shard_lanes {
+            s.push_str(&format!(
+                "    lane {:<3} {:<width$} hwm {:>6}  msgs {:>9}  stalls {:>5}  restarts {:>3}\n",
+                lane.shard,
+                history.lane_sparkline(lane.shard, plain),
+                lane.queue_hwm,
+                lane.msgs,
+                lane.stalls,
+                lane.restarts,
+                width = SPARK_WIDTH,
+            ));
+        }
     }
     if !hb.metrics.is_empty() {
         s.push_str("  component activity (per poll):\n");
@@ -217,6 +290,62 @@ mod tests {
             history.observe(&[("m".to_string(), i * 10)]);
         }
         assert_eq!(history.deltas["m"].len(), SPARK_WIDTH);
+    }
+
+    #[test]
+    fn ingest_classifies_absent_torn_and_full_frames() {
+        let dir = std::env::temp_dir().join(format!("hswx-top-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heartbeat.txt");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(ingest(&path), Ingest::Absent));
+        // A torn write that cut the file mid-magic must classify as a
+        // skippable Unreadable, never a hard error.
+        std::fs::write(&path, "hswx-heartb").unwrap();
+        assert!(matches!(ingest(&path), Ingest::Unreadable(_)));
+        // Truncated mid-body: the header survived and every key=value
+        // line is self-delimiting, so the partial frame still parses.
+        let mut hb = Heartbeat::start("soak", 0);
+        hb.done = 3;
+        let text = hb.to_text();
+        std::fs::write(&path, &text[..text.len() - 4]).unwrap();
+        assert!(matches!(ingest(&path), Ingest::Frame(_)));
+        hb.write(&path).unwrap();
+        match ingest(&path) {
+            Ingest::Frame(got) => assert_eq!(*got, hb),
+            _ => panic!("a complete frame must ingest as Frame"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_lane_panel_renders_gauge_sparklines() {
+        let mut history = History::default();
+        let mut h = Heartbeat::start("soak", 0);
+        h.shards = 2;
+        h.shard_lanes = vec![
+            ShardBeat { shard: 0, restarts: 1, stalls: 4, queue_hwm: 96, msgs: 1024 },
+            ShardBeat { shard: 1, queue_hwm: 2, msgs: 7, ..ShardBeat::default() },
+        ];
+        history.observe_lanes(&h.shard_lanes);
+        h.shard_lanes[0].queue_hwm = 12; // queue drained between polls
+        history.observe_lanes(&h.shard_lanes);
+        let out = render_frame(&h, &history, true);
+        assert!(out.contains("shard lanes"), "{out}");
+        let lane0 = out.lines().find(|l| l.contains("lane 0")).unwrap();
+        // Gauge series [96, 12]: the high sample draws the top glyph,
+        // the drained one a lower glyph — raw levels, not deltas.
+        assert!(lane0.contains('#'), "{lane0}");
+        assert!(lane0.contains("restarts   1"), "{lane0}");
+        assert!(out.lines().any(|l| l.contains("lane 1")), "{out}");
+        // Lane history is bounded like the metric sparklines.
+        for _ in 0..200 {
+            history.observe_lanes(&h.shard_lanes);
+        }
+        assert_eq!(history.lanes[&0].len(), SPARK_WIDTH);
+        // No lanes, no panel.
+        h.shard_lanes.clear();
+        assert!(!render_frame(&h, &History::default(), true).contains("shard lanes"));
     }
 
     #[test]

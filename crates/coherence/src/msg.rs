@@ -136,6 +136,17 @@ impl ShardMsg for CoherenceMsg {
             }
         }
     }
+
+    /// Flow-trace class: the link-level message class.
+    fn class(&self) -> &'static str {
+        CoherenceMsg::class(self)
+    }
+
+    /// Flow-trace group: the batch access index, so every message
+    /// serving one walk's plan links into a single causal tree.
+    fn flow_group(&self) -> u64 {
+        u64::from(self.access())
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +225,13 @@ mod tests {
         let classes: Vec<_> = sample().iter().map(|m| m.class()).collect();
         assert_eq!(classes, ["snoop", "ha-request", "fill", "qpi-transfer"]);
         assert!(sample().iter().all(|m| m.access() == 7));
+    }
+
+    #[test]
+    fn flow_trace_hooks_mirror_the_inherent_accessors() {
+        for m in sample() {
+            assert_eq!(ShardMsg::class(&m), m.class());
+            assert_eq!(ShardMsg::flow_group(&m), u64::from(m.access()));
+        }
     }
 }

@@ -62,5 +62,5 @@ pub use snapshot::SYSTEM_SNAPSHOT_SCHEMA;
 pub use placement::{PlacedState, Placement};
 pub use batch::{Access, AccessOp, BatchOutcome, BatchReply, Issue, BATCH_CHUNK};
 pub use config::MAX_SHARD_THREADS;
-pub use shard::{ShardConfig, ShardFaultPlan, ShardedBatch, SHARD_PLAN_SCHEMA};
+pub use shard::{ShardConfig, ShardFaultPlan, ShardPhases, ShardedBatch, SHARD_PLAN_SCHEMA};
 pub use system::{AccessOutcome, ProtoStep, Stats, System};

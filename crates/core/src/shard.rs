@@ -102,6 +102,11 @@ pub struct ShardConfig {
     pub watchdog: Option<Duration>,
     /// Shard restarts allowed before [`SimError::ShardFailed`].
     pub max_restarts: u32,
+    /// Capture a causal cross-shard flow trace with this record
+    /// capacity (`hswx_engine::shard::ShardTrace`); `None` — the
+    /// default — records nothing and keeps the planning path free of
+    /// instrumentation cost.
+    pub flows: Option<usize>,
     /// Fault-injection hooks (campaigns/tests; default clean).
     pub faults: ShardFaultPlan,
 }
@@ -114,6 +119,7 @@ impl ShardConfig {
             queue: QueuePolicy::default(),
             watchdog: None,
             max_restarts: 3,
+            flows: None,
             faults: ShardFaultPlan::default(),
         }
     }
@@ -144,14 +150,41 @@ impl ShardConfig {
     }
 }
 
+/// Host wall-clock cost of each sharded-batch phase, in nanoseconds.
+/// Pure diagnostics (`hswx explain shard` decomposes the shard-vs-seq
+/// gap from these): wall time varies run to run, so nothing here
+/// participates in any equality or digest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardPhases {
+    /// Partitioning accesses into per-node work lists.
+    pub partition_ns: u64,
+    /// Supervised parallel planning (phase 1, `run_shards` end to end;
+    /// `ShardReport::timing` splits it into supervisor sub-phases).
+    pub plan_ns: u64,
+    /// Keyed merge of staged fragments into the SoA table.
+    pub merge_ns: u64,
+    /// Sequential dispatch (phase 2, shared with the flat batch path).
+    pub dispatch_ns: u64,
+}
+
+impl ShardPhases {
+    /// End-to-end wall cost of the sharded run.
+    pub fn total_ns(&self) -> u64 {
+        self.partition_ns + self.plan_ns + self.merge_ns + self.dispatch_ns
+    }
+}
+
 /// Result of a sharded batch run: the batch outcome (bit-identical to
 /// the sequential path) plus the supervision report.
 #[derive(Debug, Clone)]
 pub struct ShardedBatch {
     /// Per-access replies and chain completion time.
     pub outcome: BatchOutcome,
-    /// Shard health, message-log digests, restart/stall accounting.
+    /// Shard health, message-log digests, restart/stall accounting,
+    /// flow trace (when [`ShardConfig::flows`] is set), edge traffic.
     pub report: ShardReport,
+    /// Host wall-clock phase split of this run.
+    pub phases: ShardPhases,
 }
 
 /// One access owned by a shard: batch index plus the topology facts the
@@ -365,7 +398,9 @@ impl System {
     ) -> Result<ShardedBatch, SimError> {
         let n_nodes = u16::from(self.topo.n_nodes());
         let threads = cfg.threads.clamp(1, MAX_SHARD_THREADS);
+        let mut phases = ShardPhases::default();
         // Partition accesses by the issuing core's NUMA node.
+        let t_partition = std::time::Instant::now();
         let mut parts: Vec<Vec<PlanItem>> = (0..n_nodes).map(|_| Vec::new()).collect();
         for (i, a) in batch.iter().enumerate() {
             let node = self.topo.node_of_core(a.core);
@@ -375,15 +410,18 @@ impl System {
                 rfo: matches!(a.op, AccessOp::Write | AccessOp::WriteNt),
             });
         }
+        phases.partition_ns = t_partition.elapsed().as_nanos() as u64;
         let policy = ShardPolicy {
             threads,
             queue: cfg.queue,
             watchdog: cfg.watchdog,
             max_restarts: cfg.max_restarts,
             checkpoint_every: 2,
+            flows: cfg.flows,
         };
         let topo = &self.topo;
         let faults = cfg.faults;
+        let t_plan = std::time::Instant::now();
         let run = run_shards(n_nodes, &policy, |s: ShardId| PlanWorker {
             shard: s,
             topo,
@@ -405,6 +443,8 @@ impl System {
                 });
             }
         };
+        phases.plan_ns = t_plan.elapsed().as_nanos() as u64;
+        let t_merge = std::time::Instant::now();
         let staged_lists: Vec<Vec<(u32, u8, u16)>> =
             workers.into_iter().map(|w| w.staged).collect();
         // Deterministic merge: fragments land at their (access, node)
@@ -433,14 +473,54 @@ impl System {
             "sharded staging left (access, node) cells unstaged"
         );
         self.batch_scratch = scratch;
+        phases.merge_ns = t_merge.elapsed().as_nanos() as u64;
         // Recovery cost is host-side supervision bookkeeping — recorded
         // in RecoveryStats (outside Stats) so recovered and clean runs
         // still compare bit-identical.
         self.recovery.shard_restarts += report.restarts;
         self.recovery.shard_watchdog_kills += report.watchdog_kills;
+        // Supervision counters flow through the same double gate as the
+        // walk instrumentation: the ambient MetricsRegistry captured at
+        // construction (None outside supervised runs). Everything
+        // published is a pure function of the deterministic report, so
+        // totals are identical at any thread count and across recovery.
+        if let Some(reg) = self.metrics.as_ref() {
+            reg.add("shard.msgs", report.messages);
+            reg.add("shard.rounds", report.rounds);
+            reg.add("shard.stalls", report.stalls);
+            reg.add("shard.restarts", report.restarts);
+            reg.add("shard.watchdog_kills", report.watchdog_kills);
+            let mut bytes = 0u64;
+            let mut checkpoints = 0u64;
+            let mut ckpt_bytes = 0u64;
+            for h in &report.shards {
+                bytes += h.inbound_edges.iter().map(|e| e.bytes).sum::<u64>();
+                checkpoints += h.checkpoints;
+                ckpt_bytes += h.checkpoint_bytes;
+                reg.record("shard.queue_hwm", h.queue_hwm);
+            }
+            reg.add("shard.bytes", bytes);
+            reg.add("shard.checkpoints", checkpoints);
+            reg.add("shard.checkpoint_bytes", ckpt_bytes);
+        }
         // Phase 2: the unmodified sequential dispatch loop.
+        let t_dispatch = std::time::Instant::now();
         let outcome = self.run_batch_prefetched(batch);
-        Ok(ShardedBatch { outcome, report })
+        phases.dispatch_ns = t_dispatch.elapsed().as_nanos() as u64;
+        // Simulated-time telemetry (trace feature + attached sampler,
+        // the same double gate as the walk taps): one sample per
+        // supervision channel at the batch's completion time — both
+        // deterministic, so the exported series is bit-identical at
+        // 1/2/8 threads and across kill/resume.
+        #[cfg(feature = "trace")]
+        if let Some(sampler) = self.sampler.as_deref_mut() {
+            let at = outcome.done;
+            sampler.record("shard.msgs", at, report.messages);
+            sampler.record("shard.rounds", at, report.rounds);
+            sampler.record("shard.stalls", at, report.stalls);
+            sampler.record("shard.restarts", at, report.restarts);
+        }
+        Ok(ShardedBatch { outcome, report, phases })
     }
 }
 

@@ -253,8 +253,10 @@ pub struct System {
     #[cfg(feature = "trace")]
     telemetry_hub: Option<std::sync::Arc<TelemetryHub>>,
     /// Ambient metrics registry captured at construction (see
-    /// `hswx_engine::metrics`); `None` outside supervised runs.
-    metrics: Option<std::sync::Arc<MetricsRegistry>>,
+    /// `hswx_engine::metrics`); `None` outside supervised runs. Crate
+    /// visibility: the sharded batch path (`crate::shard`) publishes
+    /// its supervision counters through the same registry.
+    pub(crate) metrics: Option<std::sync::Arc<MetricsRegistry>>,
     /// `stats.snoops_sent` at walk start (snoop fan-out accounting).
     pub(crate) walk_snoop_base: u64,
     /// Recycled peer-probe collection for node-level misses: taken at the

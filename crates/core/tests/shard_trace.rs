@@ -1,0 +1,173 @@
+//! The sharded runtime's observability must be an observer, not a
+//! participant: capturing a causal flow trace, publishing supervision
+//! counters through the ambient registry, or sampling shard telemetry
+//! changes no simulated value — outcomes, statistics, and the state
+//! digest stay bit-identical at any thread count, and the captured
+//! artifacts themselves are deterministic (identical at 1/2/8 threads
+//! and across injected shard kills healed by restart-from-snapshot).
+
+use hswx_engine::shard::validate_shard_trace;
+use hswx_engine::trace::{shard_chrome_json, validate_trace_json};
+use hswx_haswell::batch::Access;
+use hswx_haswell::{CoherenceMode, ShardConfig, System, SystemConfig};
+use hswx_mem::{CoreId, LineAddr};
+
+fn batch(n: usize, cores: u16) -> Vec<Access> {
+    (0..n)
+        .map(|i| {
+            let core = CoreId((i as u16 * 5) % cores);
+            let line = LineAddr((i as u64 * 320) % (1 << 21));
+            if i % 4 == 0 {
+                Access::write(core, line)
+            } else {
+                Access::read(core, line)
+            }
+        })
+        .collect()
+}
+
+fn flows_cfg(threads: usize) -> ShardConfig {
+    let mut cfg = ShardConfig::with_threads(threads);
+    cfg.flows = Some(1 << 18);
+    cfg
+}
+
+#[test]
+fn flow_capture_is_bit_transparent_and_thread_invariant() {
+    let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
+    let b = batch(240, cfg.n_cores());
+    let mut seq = System::new(cfg.clone());
+    let want = seq.run_batch_seq(&b);
+    let mut traces = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut plain = System::new(cfg.clone());
+        let off = plain.run_batch_sharded(&b, &ShardConfig::with_threads(threads)).unwrap();
+        assert!(off.report.trace.sends.is_empty(), "flows default off");
+        let mut sys = System::new(cfg.clone());
+        let on = sys.run_batch_sharded(&b, &flows_cfg(threads)).unwrap();
+        assert_eq!(on.outcome, want, "threads {threads}");
+        assert_eq!(sys.state_digest(), seq.state_digest(), "threads {threads}");
+        assert_eq!(sys.stats, seq.stats, "threads {threads}");
+        assert_eq!(on.outcome, off.outcome, "flow capture perturbed the outcome");
+        // The trace covers every message and is well-formed.
+        assert_eq!(on.report.trace.sends.len() as u64, on.report.messages);
+        assert_eq!(on.report.trace.dropped, 0);
+        validate_shard_trace(&on.report.trace).unwrap();
+        traces.push(on.report.trace);
+    }
+    assert_eq!(traces[0], traces[1], "flow trace must not depend on thread count");
+    assert_eq!(traces[1], traces[2]);
+}
+
+#[test]
+fn flow_trace_survives_injected_shard_kill_bit_identically() {
+    let cfg = SystemConfig::e5_2680_v3(CoherenceMode::HomeSnoop);
+    let b = batch(200, cfg.n_cores());
+    let mut clean_sys = System::new(cfg.clone());
+    let clean = clean_sys.run_batch_sharded(&b, &flows_cfg(2)).unwrap();
+    let mut killer = flows_cfg(2);
+    killer.faults.panic_at = Some((1, 30));
+    let mut sys = System::new(cfg);
+    let healed = sys.run_batch_sharded(&b, &killer).unwrap();
+    assert_eq!(healed.report.restarts, 1, "the injected panic must fire");
+    assert_eq!(
+        healed.report.trace, clean.report.trace,
+        "recovery must not add, drop, or reorder flow records"
+    );
+    assert_eq!(healed.outcome, clean.outcome);
+}
+
+#[test]
+fn exported_perfetto_flows_link_send_recv_pairs_across_shards() {
+    let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
+    let b = batch(64, cfg.n_cores());
+    let mut sys = System::new(cfg);
+    let run = sys.run_batch_sharded(&b, &flows_cfg(2)).unwrap();
+    let json = shard_chrome_json(&run.report.trace);
+    validate_trace_json(&json).unwrap();
+    assert!(json.contains("\"ph\": \"s\""), "missing flow starts");
+    assert!(json.contains("\"bp\": \"e\""), "missing flow finishes");
+    for class in ["snoop", "ha-request", "fill"] {
+        assert!(json.contains(&format!("\"name\": \"{class}\"")), "missing {class} spans");
+    }
+    // Every flow group is a batch access index.
+    for f in run.report.trace.sends.iter().chain(&run.report.trace.recvs) {
+        assert!((f.group as usize) < b.len(), "group {} out of range", f.group);
+    }
+}
+
+#[test]
+fn supervision_counters_flow_through_the_registry_transparently() {
+    use hswx_engine::MetricsRegistry;
+    use std::sync::Arc;
+    let cfg = SystemConfig::e5_2680_v3(CoherenceMode::ClusterOnDie);
+    let b = batch(180, cfg.n_cores());
+    let mut plain = System::new(cfg.clone());
+    let want = plain.run_batch_sharded(&b, &ShardConfig::with_threads(2)).unwrap();
+    let reg = Arc::new(MetricsRegistry::default());
+    let (outcome, digest, report) = {
+        let _scope = MetricsRegistry::set_ambient(Arc::clone(&reg));
+        let mut sys = System::new(cfg);
+        let run = sys.run_batch_sharded(&b, &ShardConfig::with_threads(2)).unwrap();
+        (run.outcome, sys.state_digest(), run.report)
+    };
+    assert_eq!(outcome, want.outcome, "registry capture perturbed the outcome");
+    assert_eq!(digest, plain.state_digest());
+    let counters = reg.counters_snapshot();
+    let get = |name: &str| {
+        counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    assert_eq!(get("shard.msgs"), report.messages);
+    assert_eq!(get("shard.rounds"), report.rounds);
+    let bytes: u64 = report
+        .shards
+        .iter()
+        .flat_map(|h| &h.inbound_edges)
+        .map(|e| e.bytes)
+        .sum();
+    assert!(bytes > 0, "coherence traffic must carry bytes");
+    assert_eq!(get("shard.bytes"), bytes);
+    assert_eq!(
+        get("shard.checkpoints"),
+        report.shards.iter().map(|h| h.checkpoints).sum::<u64>()
+    );
+    assert_eq!(get("shard.restarts"), 0);
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn shard_telemetry_is_deterministic_across_threads_and_transparent() {
+    use hswx_engine::{TelemetryConfig, TelemetrySampler};
+    let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
+    let b = batch(160, cfg.n_cores());
+    let mut plain = System::new(cfg.clone());
+    let want = plain.run_batch_sharded(&b, &ShardConfig::with_threads(2)).unwrap();
+    let mut csvs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut sys = System::new(cfg.clone());
+        sys.attach_sampler(TelemetrySampler::new(TelemetryConfig::default()));
+        let run = sys.run_batch_sharded(&b, &ShardConfig::with_threads(threads)).unwrap();
+        assert_eq!(run.outcome, want.outcome, "sampling perturbed the outcome");
+        assert_eq!(sys.state_digest(), plain.state_digest());
+        let sampler = sys.take_sampler().unwrap();
+        assert_eq!(sampler.channel_total("shard.msgs"), run.report.messages);
+        assert!(sampler.channel_total("shard.rounds") > 0);
+        csvs.push(sampler.to_csv());
+    }
+    assert_eq!(csvs[0], csvs[1], "shard telemetry must not depend on thread count");
+    assert_eq!(csvs[1], csvs[2]);
+}
+
+#[test]
+fn phase_timings_cover_the_whole_run() {
+    let cfg = SystemConfig::e5_2680_v3(CoherenceMode::SourceSnoop);
+    let b = batch(96, cfg.n_cores());
+    let mut sys = System::new(cfg);
+    let run = sys.run_batch_sharded(&b, &ShardConfig::with_threads(1)).unwrap();
+    assert!(run.phases.plan_ns > 0, "planning cannot be free");
+    assert!(run.phases.dispatch_ns > 0, "dispatch cannot be free");
+    assert!(run.phases.total_ns() >= run.phases.plan_ns + run.phases.dispatch_ns);
+    // The supervisor's internal split is bounded by the plan phase that
+    // contains it (both wall clocks, measured on the same thread).
+    assert!(run.report.timing.total_ns() <= run.phases.plan_ns);
+}

@@ -57,15 +57,16 @@ pub mod trace;
 
 pub use cancel::CancelToken;
 pub use fsio::{atomic_write, fnv1a64, fnv1a64_extend};
-pub use heartbeat::Heartbeat;
+pub use heartbeat::{Heartbeat, ShardBeat};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
 pub use resource::{ThroughputResource, TimedPool, TokenPool};
 pub use rng::DetRng;
 pub use shard::{
-    Envelope, QueuePolicy, RoundCtx, RoundError, ShardFailure, ShardFailureKind, ShardHealth,
-    ShardId, ShardMsg, ShardPolicy, ShardReport, ShardWorker,
+    validate_shard_trace, Envelope, QueuePolicy, RoundCtx, RoundError, ShardEdge, ShardFailure,
+    ShardFailureKind, ShardFlow, ShardHealth, ShardId, ShardMsg, ShardPolicy, ShardReport,
+    ShardTiming, ShardTrace, ShardWorker,
 };
 pub use snapshot::{SnapReader, SnapWriter, SnapshotError};
 pub use stats::{Counter, Histogram, OnlineStats};

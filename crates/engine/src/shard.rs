@@ -56,6 +56,20 @@ pub struct ShardId(pub u16);
 pub trait ShardMsg: Clone + Send + Sync + std::fmt::Debug {
     /// Append a stable byte encoding of this message.
     fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Stable lowercase message-class name, rendered in flow traces and
+    /// per-edge tables (e.g. `"snoop"`, `"fill"`).
+    fn class(&self) -> &'static str {
+        "msg"
+    }
+
+    /// Causal group key tying together every message serving one
+    /// logical unit of work (for the simulator: the batch index of the
+    /// walk a plan message belongs to). Flow spans carry it so a whole
+    /// plan renders as one causally-connected tree across shard tracks.
+    fn flow_group(&self) -> u64 {
+        0
+    }
 }
 
 /// One delivered message: nominal simulated delivery time, sender, and
@@ -83,6 +97,124 @@ impl<M: ShardMsg> Envelope<M> {
         self.msg.encode_into(scratch);
         fnv1a64_extend(h, scratch)
     }
+}
+
+/// One causal trace record: a message observed crossing a queue
+/// boundary. The supervisor stamps the `(src, seq)` trace context at
+/// enqueue (the round barrier, where emission sequence numbers are
+/// assigned) and again at delivery, so every record exists as a
+/// send/recv pair keyed by `(src, seq)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFlow {
+    /// Round the message was enqueued in (send) or delivered in (recv;
+    /// always the send round + 1 — queues drain at the next barrier).
+    pub round: u64,
+    /// Nominal simulated delivery time carried by the envelope.
+    pub at: SimTime,
+    /// Sending shard.
+    pub src: ShardId,
+    /// Receiving shard.
+    pub dst: ShardId,
+    /// Sender's emission sequence number — the trace context.
+    pub seq: u64,
+    /// Message class ([`ShardMsg::class`]).
+    pub class: &'static str,
+    /// Causal group key ([`ShardMsg::flow_group`]).
+    pub group: u64,
+}
+
+/// Causal cross-shard trace of one supervised run: every enqueue and
+/// every delivery, in supervisor order. Deterministic — a pure function
+/// of the workers' emissions — so it participates in [`ShardReport`]
+/// equality and must be bit-identical at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardTrace {
+    /// Enqueue records, in barrier routing order.
+    pub sends: Vec<ShardFlow>,
+    /// Delivery records, in delivery order.
+    pub recvs: Vec<ShardFlow>,
+    /// Records discarded after [`ShardPolicy::flows`] capacity filled.
+    pub dropped: u64,
+}
+
+/// Well-formedness check over a captured [`ShardTrace`]: every recv has
+/// exactly one matching send (same `(src, seq)` context, identical
+/// time/destination/class/group, delivered one round after enqueue),
+/// every send was delivered, and per-edge delivery order follows the
+/// queue discipline — sorted by `(round, at, seq)`, the deterministic
+/// FIFO order of the barrier-drained queues.
+pub fn validate_shard_trace(trace: &ShardTrace) -> Result<(), String> {
+    if trace.dropped > 0 {
+        return Err(format!(
+            "trace truncated: {} flow record(s) dropped past the capacity bound; \
+             raise ShardPolicy::flows",
+            trace.dropped
+        ));
+    }
+    if trace.sends.len() != trace.recvs.len() {
+        return Err(format!(
+            "{} send(s) vs {} recv(s): queues must drain completely",
+            trace.sends.len(),
+            trace.recvs.len()
+        ));
+    }
+    let mut sends: std::collections::HashMap<(u16, u64), &ShardFlow> =
+        std::collections::HashMap::with_capacity(trace.sends.len());
+    for s in &trace.sends {
+        if sends.insert((s.src.0, s.seq), s).is_some() {
+            return Err(format!("duplicate send context ({}, {})", s.src.0, s.seq));
+        }
+    }
+    let mut edges: std::collections::HashMap<(u16, u16), (u64, SimTime, u64)> =
+        std::collections::HashMap::new();
+    for r in &trace.recvs {
+        let Some(s) = sends.remove(&(r.src.0, r.seq)) else {
+            return Err(format!(
+                "recv ({}, {}) at shard {} has no matching send",
+                r.src.0, r.seq, r.dst.0
+            ));
+        };
+        if s.at != r.at || s.dst != r.dst || s.class != r.class || s.group != r.group {
+            return Err(format!(
+                "send/recv context ({}, {}) disagrees: sent {s:?}, received {r:?}",
+                r.src.0, r.seq
+            ));
+        }
+        if r.round != s.round + 1 {
+            return Err(format!(
+                "context ({}, {}) enqueued round {} but delivered round {}",
+                r.src.0, r.seq, s.round, r.round
+            ));
+        }
+        let key = (r.src.0, r.dst.0);
+        let this = (r.round, r.at, r.seq);
+        if let Some(prev) = edges.get(&key) {
+            if this < *prev {
+                return Err(format!(
+                    "edge {}->{} delivered ({:?}) after ({:?}): FIFO order broken",
+                    r.src.0, r.dst.0, this, prev
+                ));
+            }
+        }
+        edges.insert(key, this);
+    }
+    if let Some((src, seq)) = sends.keys().next() {
+        return Err(format!("send context ({src}, {seq}) was never delivered"));
+    }
+    Ok(())
+}
+
+/// Per-edge inbound traffic: messages one shard received from one peer
+/// and their encoded byte volume (the same stable encoding the inbound
+/// digest folds, so byte accounting is free at delivery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEdge {
+    /// Peer the traffic came from.
+    pub src: ShardId,
+    /// Envelopes delivered over this edge.
+    pub msgs: u64,
+    /// Encoded envelope bytes delivered over this edge.
+    pub bytes: u64,
 }
 
 /// Bounds on one outbound inter-shard channel (per round — channels are
@@ -178,6 +310,10 @@ pub struct ShardPolicy {
     pub max_restarts: u32,
     /// Checkpoint cadence in rounds (1 = every round boundary).
     pub checkpoint_every: u64,
+    /// Capture a causal flow trace, keeping at most this many send (and
+    /// as many recv) records. `None` — the default — records nothing
+    /// and costs nothing on the routing path.
+    pub flows: Option<usize>,
 }
 
 impl Default for ShardPolicy {
@@ -188,6 +324,7 @@ impl Default for ShardPolicy {
             watchdog: None,
             max_restarts: 3,
             checkpoint_every: 4,
+            flows: None,
         }
     }
 }
@@ -329,6 +466,17 @@ pub struct ShardHealth {
     pub replayed_rounds: u64,
     /// FNV-1a digest over delivered envelopes in delivery order.
     pub inbound_digest: u64,
+    /// High-water mark over this shard's outbound channel occupancies,
+    /// measured at each round barrier (deterministic — channels hold
+    /// only the shard's own emissions this round).
+    pub queue_hwm: u64,
+    /// Checkpoint frames taken at cadence boundaries.
+    pub checkpoints: u64,
+    /// Total encoded bytes across those checkpoint frames.
+    pub checkpoint_bytes: u64,
+    /// Inbound traffic per sending peer, in shard-id order; edges that
+    /// never carried a message are omitted.
+    pub inbound_edges: Vec<ShardEdge>,
     /// Human-rendered tail of the most recently delivered envelopes
     /// (divergence diagnostics).
     pub log_tail: Vec<String>,
@@ -338,8 +486,31 @@ pub struct ShardHealth {
 /// diagnostic log tail.
 pub const LOG_TAIL: usize = 8;
 
+/// Host wall-clock totals for one supervised run, split by supervisor
+/// phase. Diagnostics only — wall time varies with thread count and
+/// machine load while results must not, so this struct is *excluded*
+/// from [`ShardReport`] equality (see the manual `PartialEq` impl).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardTiming {
+    /// Sorting inboxes + folding inbound digests/edge stats.
+    pub deliver_ns: u64,
+    /// Executing shard rounds (all lanes, wall time at the barrier).
+    pub exec_ns: u64,
+    /// Routing outbound channels into next-round inboxes.
+    pub route_ns: u64,
+    /// Taking checkpoint frames at cadence boundaries.
+    pub checkpoint_ns: u64,
+}
+
+impl ShardTiming {
+    /// Sum of all phase totals.
+    pub fn total_ns(&self) -> u64 {
+        self.deliver_ns + self.exec_ns + self.route_ns + self.checkpoint_ns
+    }
+}
+
 /// Whole-run supervision report.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ShardReport {
     /// Per-shard health, in shard-id order.
     pub shards: Vec<ShardHealth>,
@@ -355,7 +526,29 @@ pub struct ShardReport {
     pub watchdog_kills: u64,
     /// Combined digest of every shard's inbound message log.
     pub msg_log_digest: u64,
+    /// Causal flow trace (empty unless [`ShardPolicy::flows`] was set).
+    pub trace: ShardTrace,
+    /// Host wall-clock phase totals (excluded from equality).
+    pub timing: ShardTiming,
 }
+
+/// Equality covers every deterministic field and deliberately skips
+/// `timing`: reports from runs at different thread counts must compare
+/// equal even though their wall-clock split differs.
+impl PartialEq for ShardReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.shards == other.shards
+            && self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.stalls == other.stalls
+            && self.restarts == other.restarts
+            && self.watchdog_kills == other.watchdog_kills
+            && self.msg_log_digest == other.msg_log_digest
+            && self.trace == other.trace
+    }
+}
+
+impl Eq for ShardReport {}
 
 impl ShardReport {
     fn from_states<W: ShardWorker>(states: &[ShardState<W>], rounds: u64) -> ShardReport {
@@ -375,6 +568,21 @@ impl ShardReport {
                     received: s.received,
                     replayed_rounds: s.replayed_rounds,
                     inbound_digest: s.inbound_digest,
+                    queue_hwm: s.queue_hwm,
+                    checkpoints: s.checkpoints,
+                    checkpoint_bytes: s.checkpoint_bytes,
+                    inbound_edges: s
+                        .edge_msgs
+                        .iter()
+                        .zip(&s.edge_bytes)
+                        .enumerate()
+                        .filter(|(_, (&m, _))| m > 0)
+                        .map(|(src, (&msgs, &bytes))| ShardEdge {
+                            src: ShardId(src as u16),
+                            msgs,
+                            bytes,
+                        })
+                        .collect(),
                     log_tail: s.log_tail.clone(),
                 })
                 .collect(),
@@ -384,6 +592,8 @@ impl ShardReport {
             restarts: states.iter().map(|s| u64::from(s.restarts)).sum(),
             watchdog_kills: states.iter().map(|s| u64::from(s.watchdog_kills)).sum(),
             msg_log_digest: digest,
+            trace: ShardTrace::default(),
+            timing: ShardTiming::default(),
         }
     }
 }
@@ -400,6 +610,12 @@ struct ShardState<W: ShardWorker> {
     received: u64,
     replayed_rounds: u64,
     inbound_digest: u64,
+    queue_hwm: u64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    /// Inbound message / encoded-byte tallies indexed by source shard.
+    edge_msgs: Vec<u64>,
+    edge_bytes: Vec<u64>,
     log_tail: Vec<String>,
     /// Envelopes to deliver next round.
     pending: Vec<Envelope<W::Msg>>,
@@ -605,6 +821,11 @@ where
             received: 0,
             replayed_rounds: 0,
             inbound_digest: crate::fsio::fnv1a64(b"hswx-shard-inbound"),
+            queue_hwm: 0,
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            edge_msgs: vec![0; n_shards as usize],
+            edge_bytes: vec![0; n_shards as usize],
             log_tail: Vec::new(),
             pending: Vec::new(),
             ckpt_round: 0,
@@ -616,16 +837,24 @@ where
     // The caller's ambient cancel token, propagated explicitly because
     // lane threads have their own (empty) thread-local ambient slot.
     let cancel = CancelToken::ambient();
+    let flow_cap = policy.flows.unwrap_or(0);
+    let mut trace = ShardTrace::default();
+    let mut timing = ShardTiming::default();
     let mut round = 0u64;
     loop {
         let quiescent = states.iter().all(|s| s.done && s.pending.is_empty());
         if quiescent {
-            let report = ShardReport::from_states(&states, round);
+            let mut report = ShardReport::from_states(&states, round);
+            report.trace = trace;
+            report.timing = timing;
             return Ok((states.into_iter().map(|s| s.worker).collect(), report));
         }
         // Deliver: sort each shard's pending envelopes into delivery
         // order and fold the inbound digest; the inboxes become this
         // round's inbound slices and, after execution, the replay log.
+        // The digest's stable envelope encoding doubles as the per-edge
+        // byte meter, so traffic accounting is free here.
+        let t_deliver = std::time::Instant::now();
         let mut scratch = Vec::new();
         let mut inboxes: Vec<Vec<Envelope<W::Msg>>> = Vec::with_capacity(n_shards as usize);
         for s in states.iter_mut() {
@@ -634,6 +863,23 @@ where
             s.received += inbox.len() as u64;
             for env in &inbox {
                 s.inbound_digest = env.fold_digest(s.inbound_digest, &mut scratch);
+                s.edge_msgs[env.src.0 as usize] += 1;
+                s.edge_bytes[env.src.0 as usize] += scratch.len() as u64;
+                if policy.flows.is_some() {
+                    if trace.recvs.len() < flow_cap {
+                        trace.recvs.push(ShardFlow {
+                            round,
+                            at: env.at,
+                            src: env.src,
+                            dst: s.shard,
+                            seq: env.seq,
+                            class: env.msg.class(),
+                            group: env.msg.flow_group(),
+                        });
+                    } else {
+                        trace.dropped += 1;
+                    }
+                }
                 s.log_tail.push(format!(
                     "r{round} t{:.1} s{}#{} {:?}",
                     env.at.as_ns(),
@@ -646,6 +892,7 @@ where
             s.log_tail.drain(..excess);
             inboxes.push(inbox);
         }
+        timing.deliver_ns += t_deliver.elapsed().as_nanos() as u64;
         // Execute every shard's round, distributing shards over the
         // worker pool round-robin. Commits are merged on the supervisor
         // thread in shard-id order, so routing is schedule-independent.
@@ -656,6 +903,7 @@ where
             &'a [Envelope<<W as ShardWorker>::Msg>],
             &'a mut Option<Result<RoundCommit<<W as ShardWorker>::Msg>, ShardFailure>>,
         )>;
+        let t_exec = std::time::Instant::now();
         let mut lanes: Vec<Lane<'_, W>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, ((s, inbox), slot)) in
             states.iter_mut().zip(inboxes.iter()).zip(commits.iter_mut()).enumerate()
@@ -685,16 +933,39 @@ where
                 }
             });
         }
-        // Barrier: route outbound messages in shard-id order.
+        timing.exec_ns += t_exec.elapsed().as_nanos() as u64;
+        // Barrier: route outbound messages in shard-id order. This is
+        // where emission sequence numbers exist, so the (shard, seq)
+        // trace context is stamped here — the enqueue side of every
+        // send/recv flow pair.
+        let t_route = std::time::Instant::now();
         let mut routed: Vec<Vec<Envelope<W::Msg>>> = (0..n_shards).map(|_| Vec::new()).collect();
         for (i, (slot, inbox)) in commits.into_iter().zip(inboxes).enumerate() {
             let commit = slot.expect("every shard executed this round")?;
             let s = &mut states[i];
             s.done = commit.done;
             s.stalls += commit.stalls;
+            s.queue_hwm = s
+                .queue_hwm
+                .max(commit.outbound.iter().map(Vec::len).max().unwrap_or(0) as u64);
             s.log.push((round, inbox));
             for (dst, ch) in commit.outbound.into_iter().enumerate() {
                 for (at, msg) in ch {
+                    if policy.flows.is_some() {
+                        if trace.sends.len() < flow_cap {
+                            trace.sends.push(ShardFlow {
+                                round,
+                                at,
+                                src: ShardId(i as u16),
+                                dst: ShardId(dst as u16),
+                                seq: s.sent,
+                                class: msg.class(),
+                                group: msg.flow_group(),
+                            });
+                        } else {
+                            trace.dropped += 1;
+                        }
+                    }
                     let env = Envelope { at, src: ShardId(i as u16), seq: s.sent, msg };
                     s.sent += 1;
                     routed[dst].push(env);
@@ -704,15 +975,20 @@ where
         for (s, inbox) in states.iter_mut().zip(routed) {
             s.pending = inbox;
         }
+        timing.route_ns += t_route.elapsed().as_nanos() as u64;
         // Checkpoint at the cadence boundary; the log before the new
         // checkpoint round is no longer needed for replay.
         let next_round = round + 1;
         if next_round.is_multiple_of(policy.checkpoint_every.max(1)) {
+            let t_ckpt = std::time::Instant::now();
             for s in states.iter_mut() {
                 s.ckpt = s.worker.checkpoint();
                 s.ckpt_round = next_round;
+                s.checkpoints += 1;
+                s.checkpoint_bytes += s.ckpt.len() as u64;
                 s.log.retain(|(r0, _)| *r0 >= next_round);
             }
+            timing.checkpoint_ns += t_ckpt.elapsed().as_nanos() as u64;
         }
         round = next_round;
         assert!(round < 100_000_000, "sharded run failed to quiesce (livelock bug)");
@@ -972,5 +1248,101 @@ mod tests {
         assert_eq!(report.shards[0].received, report.shards[1].sent);
         assert!(!report.shards[0].log_tail.is_empty());
         assert!(report.shards[0].log_tail.len() <= LOG_TAIL);
+    }
+
+    #[test]
+    fn edge_stats_and_queue_hwm_are_exact() {
+        let (_, report) = run_shards(3, &ShardPolicy::default(), |s| SumWorker::new(s, 3, N)).unwrap();
+        // Shard 0 is the only receiver; its per-edge tallies must
+        // reconcile exactly with the peers' sent counters.
+        let edges = &report.shards[0].inbound_edges;
+        assert_eq!(edges.len(), 2, "{edges:?}");
+        for e in edges {
+            assert_eq!(e.msgs, report.shards[e.src.0 as usize].sent, "edge {e:?}");
+            // 18 header bytes (at/src/seq) + 8-byte Num payload each.
+            assert_eq!(e.bytes, e.msgs * 26, "edge {e:?}");
+        }
+        assert!(report.shards[1].inbound_edges.is_empty());
+        // Senders emit up to per_round=3 envelopes per round into one
+        // channel; shard 0 sends nothing.
+        assert_eq!(report.shards[0].queue_hwm, 0);
+        assert_eq!(report.shards[1].queue_hwm, 3);
+        // Checkpoints were taken at the cadence and metered.
+        assert!(report.shards[0].checkpoints > 0);
+        assert!(report.shards[0].checkpoint_bytes > 0);
+    }
+
+    #[test]
+    fn flow_trace_is_well_formed_and_thread_invariant() {
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let policy = ShardPolicy {
+                threads,
+                flows: Some(1 << 16),
+                ..ShardPolicy::default()
+            };
+            let (_, report) = run_shards(4, &policy, |s| SumWorker::new(s, 4, N)).unwrap();
+            assert!(!report.trace.sends.is_empty());
+            assert_eq!(report.trace.sends.len() as u64, report.messages);
+            validate_shard_trace(&report.trace).unwrap();
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+    }
+
+    #[test]
+    fn flow_trace_survives_shard_restart_bit_identically() {
+        let flows = ShardPolicy { flows: Some(1 << 16), ..ShardPolicy::default() };
+        let (_, clean) = run_shards(4, &flows, |s| SumWorker::new(s, 4, N)).unwrap();
+        let killed_policy = ShardPolicy { threads: 2, ..flows.clone() };
+        let (_, killed) = run_shards(4, &killed_policy, |s| {
+            let mut w = SumWorker::new(s, 4, N);
+            if s.0 == 2 {
+                w.panic_at = Some(11);
+            }
+            w
+        })
+        .unwrap();
+        assert_eq!(killed.restarts, 1);
+        assert_eq!(killed.trace, clean.trace, "recovery must not perturb the flow trace");
+        validate_shard_trace(&killed.trace).unwrap();
+    }
+
+    #[test]
+    fn flow_capacity_overflow_is_counted_and_rejected() {
+        let policy = ShardPolicy { flows: Some(2), ..ShardPolicy::default() };
+        let (_, report) = run_shards(4, &policy, |s| SumWorker::new(s, 4, N)).unwrap();
+        assert!(report.trace.dropped > 0);
+        let err = validate_shard_trace(&report.trace).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn flow_validation_catches_forged_traces() {
+        let policy = ShardPolicy { flows: Some(1 << 16), ..ShardPolicy::default() };
+        let (_, report) = run_shards(3, &policy, |s| SumWorker::new(s, 3, N)).unwrap();
+        // Orphan recv: retag one delivery with a context nobody sent.
+        let mut forged = report.trace.clone();
+        forged.recvs[0].seq += 10_000;
+        let err = validate_shard_trace(&forged).unwrap_err();
+        assert!(err.contains("no matching send"), "{err}");
+        // Context disagreement: recv claims a different class.
+        let mut forged = report.trace.clone();
+        forged.recvs[0].class = "bogus";
+        let err = validate_shard_trace(&forged).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+        // Round skew: delivery must land exactly one round after send.
+        let mut forged = report.trace.clone();
+        forged.recvs[0].round += 1;
+        assert!(validate_shard_trace(&forged).is_err());
+    }
+
+    #[test]
+    fn wall_timing_is_excluded_from_report_equality() {
+        let (_, report) = run_shards(2, &ShardPolicy::default(), |s| SumWorker::new(s, 2, N)).unwrap();
+        let mut twin = report.clone();
+        twin.timing.exec_ns = report.timing.exec_ns.wrapping_add(123_456);
+        assert_eq!(report, twin, "host wall time must not affect report identity");
     }
 }

@@ -35,7 +35,7 @@
 //! failing snapshot pair is dumped to the output directory for offline
 //! diffing); [`SoakReport::ok`] gates the `hswx soak` exit code.
 
-use hswx_engine::{CancelToken, DetRng, Heartbeat, MetricsRegistry, SimTime};
+use hswx_engine::{CancelToken, DetRng, Heartbeat, MetricsRegistry, ShardBeat, SimTime};
 use hswx_haswell::{
     Access, CoherenceMode, MonitorConfig, ShardConfig, SimError, System, SystemConfig,
     SYSTEM_SNAPSHOT_SCHEMA,
@@ -147,6 +147,11 @@ pub struct SoakReport {
     /// NUMA node of the round's config: 2 in snoop modes, 4 under
     /// cluster-on-die).
     pub shard_lanes: u64,
+    /// Per-lane health accumulated over every sharded batch (restarts,
+    /// stalls, messages summed; queue high-water maxed), sorted by lane
+    /// id. Feeds the repeatable `shard=` heartbeat lines that drive the
+    /// `hswx top` lane panel; not part of the JSON report.
+    pub shard_lane_health: Vec<ShardBeat>,
     /// Monitor/typed-error violations (must be empty).
     pub violations: Vec<SoakFailure>,
     /// Snapshot/restore divergences (must be empty).
@@ -576,6 +581,25 @@ impl Round<'_> {
                 self.report.shard_restarts += run.report.restarts;
                 self.report.shard_lanes =
                     self.report.shard_lanes.max(u64::from(sys.topo.n_nodes()));
+                // Fold per-lane health into the cumulative lane beats
+                // (restarts/stalls/messages sum, queue high-water maxes)
+                // so the heartbeat carries live per-shard state.
+                for h in &run.report.shards {
+                    let lane = u64::from(h.shard.0);
+                    let lanes = &mut self.report.shard_lane_health;
+                    let beat = match lanes.iter_mut().find(|b| b.shard == lane) {
+                        Some(beat) => beat,
+                        None => {
+                            lanes.push(ShardBeat { shard: lane, ..ShardBeat::default() });
+                            lanes.sort_by_key(|b| b.shard);
+                            lanes.iter_mut().find(|b| b.shard == lane).expect("just pushed")
+                        }
+                    };
+                    beat.restarts += u64::from(h.restarts);
+                    beat.stalls += h.stalls;
+                    beat.queue_hwm = beat.queue_hwm.max(h.queue_hwm);
+                    beat.msgs += h.sent;
+                }
                 if run.outcome != want.0 || sys.state_digest() != want.1 {
                     self.mismatch(format!(
                         "{tag}: sharded batch diverged from sequential dispatch \
@@ -787,6 +811,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         shard_restarts: 0,
         shard_cancelled: 0,
         shard_lanes: 0,
+        shard_lane_health: Vec::new(),
         violations: Vec::new(),
         mismatches: Vec::new(),
         metrics: Vec::new(),
@@ -814,6 +839,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         if report.shard_batches > 0 {
             hb.shards = report.shard_lanes;
             hb.shard_restarts = report.shard_restarts;
+            hb.shard_lanes = report.shard_lane_health.clone();
         }
         hb.metrics = registry.counters_snapshot();
         let _ = hb.write(path);
@@ -891,6 +917,16 @@ mod tests {
             "every injected kill must be healed by restart-from-snapshot: {report}"
         );
         assert!(report.snapshots >= 1, "recovered systems stay snapshot-transparent");
+        // Per-lane health accumulated for the heartbeat lane panel: every
+        // lane that ran carries real traffic, and injected kills land in
+        // some lane's restart counter.
+        assert!(!report.shard_lane_health.is_empty(), "{report}");
+        assert!(report.shard_lane_health.iter().all(|b| b.msgs > 0));
+        assert!(report.shard_lane_health.windows(2).all(|w| w[0].shard < w[1].shard));
+        assert_eq!(
+            report.shard_lane_health.iter().map(|b| b.restarts).sum::<u64>(),
+            report.shard_restarts,
+        );
     }
 
     #[test]
@@ -920,6 +956,7 @@ mod tests {
             shard_restarts: 2,
             shard_cancelled: 1,
             shard_lanes: 2,
+            shard_lane_health: vec![ShardBeat { shard: 0, msgs: 12, ..ShardBeat::default() }],
             violations: vec![],
             mismatches: vec![SoakFailure { round: 2, what: "digest \"diff\"".into() }],
             metrics: vec![("snoop.sent".into(), 42), ("sys.walks".into(), 900)],

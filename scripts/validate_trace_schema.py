@@ -66,11 +66,27 @@ def main():
     # Cross-event invariant the schema language can't express: every
     # `parent` reference must resolve to some event's id.
     ids = {e["args"]["id"] for e in events}
+    flows = {}
     for i, e in enumerate(events):
         parent = e["args"].get("parent")
         if parent is not None and parent not in ids:
             fail(f"$.traceEvents[{i}].args.parent", f"dangling parent id {parent}")
-    print(f"{sys.argv[2]}: ok ({len(events)} events)")
+        ph = e["ph"]
+        where = f"$.traceEvents[{i}]"
+        if ph == "X":
+            if "dur" not in e:
+                fail(where, "complete event without dur")
+        else:  # flow endpoint: 's' or 'f' (schema already rejected the rest)
+            if "id" not in e:
+                fail(where, f"flow event {ph!r} without top-level id")
+            if ph == "f" and e.get("bp") != "e":
+                fail(where, "flow finish must bind to enclosing slice (bp: 'e')")
+            s, f_ = flows.get(e["id"], (0, 0))
+            flows[e["id"]] = (s + (ph == "s"), f_ + (ph == "f"))
+    for fid, (s, f_) in flows.items():
+        if s != f_:
+            fail("$.traceEvents", f"flow id {fid} has {s} start(s) but {f_} finish(es)")
+    print(f"{sys.argv[2]}: ok ({len(events)} events, {len(flows)} flows)")
 
 
 if __name__ == "__main__":
